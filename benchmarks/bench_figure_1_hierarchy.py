@@ -1,0 +1,170 @@
+"""FIG-1: regenerate Figure 1 (the hierarchy of interaction models).
+
+The figure's content is (a) the ten models with their transition relations
+and (b) the inclusion edges between them, each justified either because the
+weaker model's transition relation is a *special case* of the stronger one's
+(under an identification of the detection functions) or because the stronger
+model is obtained by *omission avoidance*.
+
+The benchmark re-derives every edge mechanically:
+
+* for a special-case edge, it instantiates the identification stated in
+  ``repro.interaction.hierarchy`` (e.g. "IO is IT with ``g`` = identity",
+  "T2 is T3 with ``h`` = identity") on a probe program and checks that the
+  two models' transition relations coincide on all probed state pairs;
+* for an omission-avoidance edge, it checks that the two models agree on all
+  non-omissive interactions (so a source-correct protocol stays correct on
+  the destination's omission-free runs).
+
+The printed table is the textual form of Figure 1.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.interaction.hierarchy import (
+    HIERARCHY_EDGES,
+    OMISSION_AVOIDANCE,
+    SPECIAL_CASE,
+    hierarchy_graph,
+    topological_order,
+)
+from repro.interaction.models import get_model
+from repro.interaction.omissions import NO_OMISSION
+
+#: Probe states: enough to distinguish the component functions.
+PROBE_STATES = ("x", "y", "z")
+
+
+class ProbeProgram:
+    """A program whose component functions produce distinguishable outputs.
+
+    The detection functions ``g`` / ``o`` / ``h`` can be pinned to specific
+    identifications (identity, equal to ``g``, ...) to realise the
+    special-case reductions of Figure 1.
+    """
+
+    def __init__(self, g_mode="tag", o_mode="tag", h_mode="tag"):
+        self.g_mode = g_mode
+        self.o_mode = o_mode
+        self.h_mode = h_mode
+
+    # one-way interface ------------------------------------------------------------
+    def g(self, starter):
+        return starter if self.g_mode == "identity" else ("g", starter)
+
+    def f(self, starter, reactor):
+        return ("f", starter, reactor)
+
+    def on_starter_omission(self, starter):
+        if self.o_mode == "identity":
+            return starter
+        if self.o_mode == "g":
+            return self.g(starter)
+        return ("o", starter)
+
+    def on_reactor_omission(self, reactor):
+        if self.h_mode == "identity":
+            return reactor
+        if self.h_mode == "g":
+            return self.g(reactor)
+        return ("h", reactor)
+
+    # two-way interface (fs ignores the reactor, i.e. the one-way special case) -----
+    def fs(self, starter, reactor):
+        return self.g(starter)
+
+    def fr(self, starter, reactor):
+        return self.f(starter, reactor)
+
+
+#: For each special-case edge: the identification of detection functions that
+#: realises the reduction (arguments for ProbeProgram).
+SPECIAL_CASE_IDENTIFICATIONS = {
+    ("IO", "IT"): dict(g_mode="identity"),
+    ("IT", "TW"): dict(),
+    ("T1", "T2"): dict(o_mode="identity", h_mode="identity"),
+    ("T2", "T3"): dict(h_mode="identity"),
+    ("I1", "I3"): dict(h_mode="identity"),
+    ("I2", "I3"): dict(h_mode="g"),
+    ("I2", "I4"): dict(o_mode="g"),
+    ("I3", "T3"): dict(o_mode="g"),
+}
+
+
+def _relation(model, program, starter, reactor):
+    return model.transition_relation(program, starter, reactor)
+
+
+def check_special_case(source_name: str, destination_name: str):
+    """The destination's relation (under the identification) equals the source's."""
+    identification = SPECIAL_CASE_IDENTIFICATIONS[(source_name, destination_name)]
+    program = ProbeProgram(**identification)
+    source = get_model(source_name)
+    destination = get_model(destination_name)
+    for starter, reactor in itertools.product(PROBE_STATES, repeat=2):
+        source_relation = _relation(source, program, starter, reactor)
+        destination_relation = _relation(destination, program, starter, reactor)
+        if not destination_relation <= source_relation | destination_relation:
+            return False, "relation mismatch"
+        # The inclusion that matters: every outcome the destination model can
+        # produce under the identification is an admissible source outcome, or
+        # conversely the source relation embeds into the destination's.  For
+        # the identifications above the two relations coincide exactly.
+        if source_relation != destination_relation:
+            return False, (
+                f"relations differ on ({starter}, {reactor}): "
+                f"{sorted(map(repr, source_relation))} vs "
+                f"{sorted(map(repr, destination_relation))}"
+            )
+    return True, f"relations coincide on {len(PROBE_STATES) ** 2} state pairs"
+
+
+def check_omission_avoidance(source_name: str, destination_name: str):
+    """Source and destination agree on every non-omissive interaction."""
+    program = ProbeProgram()
+    source = get_model(source_name)
+    destination = get_model(destination_name)
+    for starter, reactor in itertools.product(PROBE_STATES, repeat=2):
+        source_outcome = source.apply(program, starter, reactor, NO_OMISSION)
+        destination_outcome = destination.apply(program, starter, reactor, NO_OMISSION)
+        if source_outcome != destination_outcome:
+            return False, f"non-omissive outcomes differ on ({starter}, {reactor})"
+    return True, f"non-omissive outcomes agree on {len(PROBE_STATES) ** 2} state pairs"
+
+
+def build_figure_1():
+    """Check every Figure 1 edge and return the table rows plus a global verdict."""
+    rows = []
+    all_ok = True
+    for source, destination, justification in HIERARCHY_EDGES:
+        if justification == SPECIAL_CASE:
+            ok, detail = check_special_case(source, destination)
+        else:
+            ok, detail = check_omission_avoidance(source, destination)
+        all_ok = all_ok and ok
+        rows.append(
+            [f"{source} -> {destination}", justification, "ok" if ok else "FAIL", detail]
+        )
+    return rows, all_ok
+
+
+def test_figure_1_hierarchy(benchmark, table_printer):
+    rows, all_ok = benchmark.pedantic(build_figure_1, rounds=1, iterations=1)
+    table_printer(
+        "Figure 1 — hierarchy of interaction models (weaker -> stronger)",
+        ["edge", "justification", "check", "detail"],
+        rows,
+    )
+    table_printer(
+        "Figure 1 — weakest-to-strongest order",
+        ["order"],
+        [[" -> ".join(topological_order())]],
+    )
+    assert all_ok, "every Figure 1 edge must be mechanically verified"
+    graph = hierarchy_graph()
+    assert graph.number_of_nodes() == 10
+    assert graph.number_of_edges() == len(HIERARCHY_EDGES)

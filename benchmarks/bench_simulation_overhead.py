@@ -1,0 +1,122 @@
+"""OVH-1: simulation overhead across all simulators (derived comparison).
+
+The paper proves feasibility; this benchmark quantifies the price, comparing
+all simulators on the same workload and population:
+
+* FTT (Definition 7): the minimum number of interactions needed to simulate
+  one two-way interaction in a two-agent system;
+* measured interactions per completed simulated interaction under a fair
+  random scheduler;
+* per-agent memory.
+
+Expected shape: the TW baseline costs exactly 1 interaction per interaction;
+``SKnO`` costs a factor growing with ``o + 1``; ``SID`` and ``Nn + SID`` pay a
+constant-factor locking overhead plus (for ``Nn``) a one-off naming phase.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.ftt import fastest_transition_time
+from repro.core.memory import max_bits_per_agent
+from repro.core.naming import KnownSizeSimulator
+from repro.core.sid import SIDSimulator
+from repro.core.skno import SKnOSimulator
+from repro.core.trivial import TrivialTwoWaySimulator
+from repro.core.verification import verify_simulation
+from repro.engine.convergence import run_until_stable
+from repro.engine.engine import SimulationEngine
+from repro.interaction.models import IO, TW, get_model
+from repro.protocols.catalog.majority import ExactMajorityProtocol
+from repro.protocols.state import Configuration
+from repro.scheduling.scheduler import RandomScheduler
+
+N = 8
+MAX_STEPS = 400_000
+WINDOW = 200
+
+
+def build_simulators(protocol):
+    return [
+        ("TW baseline", TrivialTwoWaySimulator(protocol), TW, {}),
+        ("SKnO o=0 (IT)", SKnOSimulator(protocol, omission_bound=0), get_model("IT"), {}),
+        ("SKnO o=1 (I3)", SKnOSimulator(protocol, omission_bound=1), get_model("I3"), {}),
+        ("SKnO o=2 (I3)", SKnOSimulator(protocol, omission_bound=2), get_model("I3"), {}),
+        ("SID (IO)", SIDSimulator(protocol), IO, {}),
+        ("Nn+SID (IO)", KnownSizeSimulator(protocol, population_size=N), IO, {}),
+    ]
+
+
+def measure(name, simulator, model, protocol, seed=0):
+    count_a = N // 2 + 1
+    p_config = protocol.initial_configuration(count_a, N - count_a)
+    config = simulator.initial_configuration(p_config)
+    engine = SimulationEngine(simulator, model, RandomScheduler(N, seed=seed))
+    predicate = lambda c: all(protocol.output(simulator.project(s)) == "A" for s in c)
+    outcome = run_until_stable(engine, config, predicate, max_steps=MAX_STEPS,
+                               stability_window=WINDOW)
+    report = verify_simulation(simulator, outcome.trace)
+
+    two_agent_config = Configuration(
+        [
+            simulator.initial_state("A", **({"agent_id": 0} if isinstance(simulator, SIDSimulator) else {})),
+            simulator.initial_state("B", **({"agent_id": 1} if isinstance(simulator, SIDSimulator) else {})),
+        ]
+    ) if not isinstance(simulator, KnownSizeSimulator) else None
+    if two_agent_config is not None:
+        ftt = fastest_transition_time(simulator, model, two_agent_config).ftt
+    else:
+        ftt = None  # the naming phase depends on n, FTT is not defined the same way
+
+    return {
+        "name": name,
+        "model": model.name,
+        "converged": outcome.converged,
+        "steps": outcome.steps_to_convergence,
+        "pairs": report.matched_pairs,
+        "overhead": (outcome.steps_executed / report.matched_pairs
+                     if report.matched_pairs else float("inf")),
+        "ftt": ftt,
+        "verified": report.ok,
+        "memory": max_bits_per_agent([outcome.trace.final_configuration]),
+    }
+
+
+def full_comparison():
+    protocol = ExactMajorityProtocol()
+    return [measure(name, simulator, model, protocol, seed=index)
+            for index, (name, simulator, model, _) in enumerate(build_simulators(protocol))]
+
+
+def test_simulation_overhead_comparison(benchmark, table_printer):
+    rows = benchmark.pedantic(full_comparison, rounds=1, iterations=1)
+    table_printer(
+        f"Simulation overhead — exact majority, n={N}, all simulators",
+        ["simulator", "model", "converged", "steps", "simulated pairs",
+         "interactions per pair", "FTT", "memory bits/agent", "verified"],
+        [[row["name"], row["model"], row["converged"], row["steps"], row["pairs"],
+          f"{row['overhead']:.1f}", row["ftt"] if row["ftt"] is not None else "-",
+          row["memory"], row["verified"]] for row in rows],
+    )
+    by_name = {row["name"]: row for row in rows}
+    assert all(row["converged"] and row["verified"] for row in rows)
+
+    # The baseline is exactly one interaction per simulated interaction.
+    assert by_name["TW baseline"]["overhead"] == pytest.approx(1.0)
+    assert by_name["TW baseline"]["ftt"] == 1
+
+    # FTT shape: SKnO needs 2(o+1) interactions, SID needs 3 observations.
+    assert by_name["SKnO o=0 (IT)"]["ftt"] == 2
+    assert by_name["SKnO o=1 (I3)"]["ftt"] == 4
+    assert by_name["SKnO o=2 (I3)"]["ftt"] == 6
+    assert by_name["SID (IO)"]["ftt"] == 3
+
+    # Every simulator pays a real overhead over the baseline.
+    for name, row in by_name.items():
+        if name != "TW baseline":
+            assert row["overhead"] > 1.5
+
+    # SKnO's overhead grows with the omission bound.
+    assert (by_name["SKnO o=0 (IT)"]["overhead"]
+            < by_name["SKnO o=2 (I3)"]["overhead"])

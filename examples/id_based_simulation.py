@@ -1,0 +1,96 @@
+"""Simulation on Immediate Observation with unique IDs (Theorem 4.5).
+
+Scenario: a warehouse full of battery-powered asset tags.  A tag can read
+nearby tags' broadcasts but never knows whether anyone heard its own
+(Immediate Observation: only the reactor learns anything, the starter is
+oblivious).  Each tag has a factory-assigned serial number — a unique ID.
+
+Two coordination tasks are run through the ``SID`` simulator:
+
+* leader election — electing a single coordinator tag;
+* exact majority — deciding which of two firmware versions is installed on
+  more tags, so the minority can be scheduled for update.
+
+Both are plain two-way protocols from the catalog; ``SID`` makes them work
+on the observation-only substrate, and the example verifies the executions
+against Definitions 3 and 4.
+
+Run with::
+
+    python examples/id_based_simulation.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ExactMajorityProtocol,
+    LeaderElectionProtocol,
+    RandomScheduler,
+    SIDSimulator,
+    SimulationEngine,
+    get_model,
+    verify_simulation,
+)
+from repro.engine import run_until_stable
+
+
+def elect_coordinator(serial_numbers, seed=0):
+    """Leader election over tags identified by their serial numbers."""
+    protocol = LeaderElectionProtocol()
+    simulator = SIDSimulator(protocol)
+    n = len(serial_numbers)
+    config = simulator.initial_configuration(
+        protocol.initial_configuration(n), ids=serial_numbers)
+    engine = SimulationEngine(simulator, get_model("IO"), RandomScheduler(n, seed=seed))
+    predicate = lambda c: sum(1 for s in c if simulator.project(s) == "L") == 1
+    outcome = run_until_stable(engine, config, predicate, max_steps=300_000,
+                               stability_window=300)
+    report = verify_simulation(simulator, outcome.trace)
+    leaders = [
+        serial for serial, state in zip(serial_numbers, outcome.trace.final_configuration)
+        if simulator.project(state) == "L"
+    ]
+    return leaders, outcome, report
+
+
+def firmware_majority(version_a_tags, version_b_tags, seed=0):
+    """Exact majority between two firmware versions."""
+    protocol = ExactMajorityProtocol()
+    simulator = SIDSimulator(protocol)
+    n = version_a_tags + version_b_tags
+    config = simulator.initial_configuration(
+        protocol.initial_configuration(version_a_tags, version_b_tags))
+    engine = SimulationEngine(simulator, get_model("IO"), RandomScheduler(n, seed=seed))
+    expected = protocol.majority_opinion(version_a_tags, version_b_tags)
+    predicate = lambda c: all(
+        protocol.output(simulator.project(s)) == expected for s in c)
+    outcome = run_until_stable(engine, config, predicate, max_steps=300_000,
+                               stability_window=300)
+    report = verify_simulation(simulator, outcome.trace)
+    return expected, outcome, report
+
+
+def main() -> None:
+    serials = [f"TAG-{index:04d}" for index in (17, 23, 42, 57, 61, 88, 91, 99)]
+    print(f"Fleet of {len(serials)} asset tags, observation-only radio (IO model).")
+    print()
+
+    leaders, outcome, report = elect_coordinator(serials, seed=3)
+    print("Leader election through SID:")
+    print(f"  coordinator     : {leaders[0] if leaders else 'none'}")
+    print(f"  interactions    : {outcome.steps_to_convergence}")
+    print(f"  verification    : {report.summary()}")
+    print()
+
+    expected, outcome, report = firmware_majority(5, 3, seed=4)
+    print("Firmware majority (5 tags on version A, 3 on version B) through SID:")
+    print(f"  majority        : version {expected}")
+    print(f"  interactions    : {outcome.steps_to_convergence}")
+    print(f"  verification    : {report.summary()}")
+    print()
+    print("Unique IDs are exactly the extra power needed: without them, constant-space")
+    print("IO protocols are strictly weaker than two-way ones (see the paper, Section 1.3).")
+
+
+if __name__ == "__main__":
+    main()

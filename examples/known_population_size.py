@@ -1,0 +1,85 @@
+"""Simulation on Immediate Observation knowing only the population size (Theorem 4.6).
+
+Scenario: a sealed batch of exactly ``n`` identical, anonymous sensor motes
+is deployed.  The motes have no serial numbers, but the batch size ``n`` is
+printed on the box.  Communication is observation-only (IO).
+
+The ``KnownSizeSimulator`` first runs the naming protocol ``Nn`` (agents
+bootstrap unique ids 1..n from collisions, using only the knowledge of
+``n``), then hands over to ``SID``.  The example shows both phases: how long
+naming takes, that the ids really end up being a permutation of 1..n, and
+that the simulated two-way protocol (exact majority) then stabilises to the
+right answer.
+
+Run with::
+
+    python examples/known_population_size.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ExactMajorityProtocol,
+    KnownSizeSimulator,
+    RandomScheduler,
+    SimulationEngine,
+    get_model,
+    verify_simulation,
+)
+from repro.engine import run_until_stable
+
+
+def run_batch(count_a: int, count_b: int, seed: int = 0):
+    protocol = ExactMajorityProtocol()
+    n = count_a + count_b
+    simulator = KnownSizeSimulator(protocol, population_size=n)
+    config = simulator.initial_configuration(protocol.initial_configuration(count_a, count_b))
+    engine = SimulationEngine(simulator, get_model("IO"), RandomScheduler(n, seed=seed))
+
+    expected = protocol.majority_opinion(count_a, count_b)
+    predicate = lambda c: all(
+        protocol.output(simulator.project(s)) == expected for s in c)
+    outcome = run_until_stable(engine, config, predicate, max_steps=500_000,
+                               stability_window=300)
+    report = verify_simulation(simulator, outcome.trace)
+
+    naming_steps = None
+    for index, configuration in enumerate(outcome.trace.configurations()):
+        if KnownSizeSimulator.naming_complete(configuration):
+            naming_steps = index
+            break
+    ids = KnownSizeSimulator.assigned_ids(outcome.trace.final_configuration)
+    return {
+        "n": n,
+        "expected": expected,
+        "converged": outcome.converged,
+        "naming_steps": naming_steps,
+        "total_steps": outcome.steps_to_convergence,
+        "ids": sorted(ids),
+        "report": report,
+    }
+
+
+def main() -> None:
+    count_a, count_b = 6, 4
+    print(f"Sealed batch of {count_a + count_b} anonymous motes; only n is known.")
+    print(f"Task: decide the majority firmware ({count_a} x A vs {count_b} x B) on IO.")
+    print()
+
+    stats = run_batch(count_a, count_b, seed=11)
+    print(f"Naming phase (protocol Nn):")
+    print(f"  interactions to assign unique ids : {stats['naming_steps']}")
+    print(f"  assigned ids                      : {stats['ids']}")
+    print()
+    print(f"Simulation phase (SID with the bootstrapped ids):")
+    print(f"  majority decided                  : {stats['expected']}")
+    print(f"  total interactions to stabilise   : {stats['total_steps']}")
+    print(f"  converged                         : {stats['converged']}")
+    print(f"  verification                      : {stats['report'].summary()}")
+    print()
+    print("Knowing n alone is enough to simulate any two-way protocol on IO —")
+    print("Theorem 4.6, built as: naming (Lemma 3) + SID (Theorem 4.5).")
+
+
+if __name__ == "__main__":
+    main()

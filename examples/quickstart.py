@@ -1,0 +1,80 @@
+"""Quickstart: run a two-way protocol directly, then through a simulator.
+
+This example walks through the core workflow of the library:
+
+1. pick a two-way population protocol from the catalog (exact majority);
+2. run it on the standard two-way model ``TW`` as ground truth;
+3. wrap it in the ``SKnO`` simulator and run it on the weaker Immediate
+   Transmission model ``IT`` (one-way communication, Corollary 1);
+4. verify that the weak-model execution really is a simulation: extract the
+   events, build the perfect matching, replay the derived run
+   (Definitions 3 and 4 of the paper).
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ExactMajorityProtocol,
+    RandomScheduler,
+    SimulationEngine,
+    SKnOSimulator,
+    TrivialTwoWaySimulator,
+    get_model,
+    verify_simulation,
+)
+from repro.engine import run_until_stable, stable_output_condition
+
+
+def run_on_two_way(protocol, count_a: int, count_b: int, seed: int = 1):
+    """Ground truth: the protocol on the standard two-way model."""
+    baseline = TrivialTwoWaySimulator(protocol)
+    config = baseline.initial_configuration(protocol.initial_configuration(count_a, count_b))
+    engine = SimulationEngine(baseline, get_model("TW"), RandomScheduler(len(config), seed=seed))
+    predicate = stable_output_condition(protocol, "A", projection=baseline.project)
+    result = run_until_stable(engine, config, predicate, max_steps=100_000, stability_window=200)
+    report = verify_simulation(baseline, result.trace)
+    return result, report
+
+
+def run_on_immediate_transmission(protocol, count_a: int, count_b: int, seed: int = 1):
+    """The same protocol, simulated on the one-way IT model by SKnO with o = 0."""
+    simulator = SKnOSimulator(protocol, omission_bound=0)
+    config = simulator.initial_configuration(protocol.initial_configuration(count_a, count_b))
+    engine = SimulationEngine(simulator, get_model("IT"), RandomScheduler(len(config), seed=seed))
+    predicate = stable_output_condition(protocol, "A", projection=simulator.project)
+    result = run_until_stable(engine, config, predicate, max_steps=200_000, stability_window=200)
+    report = verify_simulation(simulator, result.trace)
+    return result, report
+
+
+def main() -> None:
+    protocol = ExactMajorityProtocol()
+    count_a, count_b = 7, 4   # strict A-majority: the population must stabilise on "A"
+
+    print("Workload: exact majority with", count_a, "A-agents and", count_b, "B-agents")
+    print()
+
+    tw_result, tw_report = run_on_two_way(protocol, count_a, count_b)
+    print("[TW ]", "converged" if tw_result.converged else "did NOT converge",
+          f"after {tw_result.steps_to_convergence} interactions")
+    print("[TW ]", tw_report.summary())
+    print()
+
+    it_result, it_report = run_on_immediate_transmission(protocol, count_a, count_b)
+    print("[IT ]", "converged" if it_result.converged else "did NOT converge",
+          f"after {it_result.steps_to_convergence} interactions (through SKnO, o=0)")
+    print("[IT ]", it_report.summary())
+    print()
+
+    overhead = (it_result.steps_to_convergence or 0) / max(1, tw_result.steps_to_convergence or 1)
+    print(f"Price of one-way communication on this run: ~{overhead:.1f}x more interactions")
+    print("Both executions stabilise on the correct majority, and the IT trace passes")
+    print("the Definition 3/4 verification: the weak model faithfully simulates TW.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described in ``pyproject.toml``; this file exists so
+that editable installs keep working on environments without the ``wheel``
+package (offline machines where ``pip install -e . --no-use-pep517`` is the
+only available editable-install path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,372 @@
+"""Attack-run constructions from the impossibility proofs of Section 3.
+
+Two artifacts are provided:
+
+* :class:`Lemma1Construction` — the run ``I*`` of Lemma 1.  Given a
+  simulator, a symmetric protocol (the Pairing protocol of Definition 5 in
+  all our benchmarks) and an omissive two-way model, it
+
+  1. computes the simulator's Fastest Transition Time ``t`` (Definition 7)
+     and a witness two-agent run ``I``;
+  2. builds, for every ``k < t``, the auxiliary run ``I_k`` (prefix of ``I``,
+     one omissive interaction "detected on d1's side", then a fair
+     omission-free extension until the consumer-side agent commits its
+     simulated transition);
+  3. splices the ``I_k`` into the ``2t + 2``-agent run ``I*`` of the paper
+     (Figure 2), with exactly ``t`` omissive interactions;
+  4. executes ``I*`` and reports how many agents transitioned from ``q1`` to
+     ``q1'`` — at least ``t + 1``, violating the safety of Pairing since only
+     ``t`` producers exist.
+
+  This is the executable content of Theorems 3.1 and 3.3: *any* simulator is
+  fooled by a number of omissions equal to its own FTT.
+
+* :func:`no1_liveness_attack` — the empirical counterpart of Theorem 3.2 for
+  the weak models ``T1``/``I1``/``I2``: a *single* omission (the NO1
+  adversary) injected while a token is in flight leaves the system unable to
+  ever complete a simulated interaction (liveness failure), because those
+  models give no agent the detection capability needed to compensate for the
+  loss.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from repro.adversary.ftt import FTTResult, fastest_transition_time
+from repro.adversary.omission import NO1Adversary
+from repro.engine.engine import SimulationEngine
+from repro.engine.trace import Trace
+from repro.interaction.models import InteractionModel, get_model
+from repro.interaction.omissions import Omission
+from repro.protocols.state import Configuration, State
+from repro.scheduling.runs import Interaction, Run
+from repro.scheduling.scheduler import RandomScheduler
+
+
+class ConstructionError(Exception):
+    """Raised when an attack construction cannot be completed."""
+
+
+# ---------------------------------------------------------------------------------------------
+# Lemma 1 (Theorems 3.1 and 3.3)
+# ---------------------------------------------------------------------------------------------
+
+
+@dataclass
+class Lemma1Result:
+    """Outcome of executing the Lemma 1 run ``I*``."""
+
+    ftt: int
+    population: int
+    omissions_used: int
+    q0: State
+    q1: State
+    q1_prime: State
+    q1_to_q1_prime_transitions: int
+    producers: int
+    safety_bound: int
+    safety_violated: bool
+    attack_run: Run
+    trace: Trace
+
+    def summary(self) -> str:
+        status = "SAFETY VIOLATED" if self.safety_violated else "safety held"
+        return (
+            f"FTT={self.ftt} n={self.population} omissions={self.omissions_used} "
+            f"critical-transitions={self.q1_to_q1_prime_transitions} "
+            f"bound={self.safety_bound} -> {status}"
+        )
+
+
+class Lemma1Construction:
+    """Build and execute the adversarial run ``I*`` of Lemma 1 against a simulator.
+
+    Parameters
+    ----------
+    simulator:
+        The simulator under attack, presented through the *two-way* program
+        interface (wrap one-way simulators with
+        :func:`repro.interaction.adapters.one_way_as_two_way`).  It must
+        expose ``project`` and ``protocol``.
+    model:
+        A two-way omissive model, normally ``T3`` (the strongest omissive
+        model: impossibility there carries over to every other omissive
+        model of Figure 1).
+    q0 / q1:
+        The two simulated initial states used in the construction; the
+        simulated protocol must be symmetric on this pair and
+        ``delta(q0, q1)`` must change ``q1``.  For the Pairing protocol,
+        ``q0`` is the producer state and ``q1`` the consumer state.
+    """
+
+    def __init__(
+        self,
+        simulator: Any,
+        model: InteractionModel,
+        q0: State,
+        q1: State,
+        extension_seed: int = 0,
+        max_extension: int = 20_000,
+        max_ftt_depth: int = 64,
+    ):
+        if not model.allows_omissions or model.one_way:
+            raise ConstructionError(
+                "Lemma 1 is phrased for the two-way omissive models; use T3 "
+                "(impossibility there implies impossibility in every omissive model)"
+            )
+        self.simulator = simulator
+        self.model = model
+        self.protocol = simulator.protocol
+        if not self.protocol.is_symmetric_on(q0, q1):
+            raise ConstructionError(
+                f"the simulated protocol must be symmetric on ({q0!r}, {q1!r})"
+            )
+        if self.protocol.delta(q0, q1)[1] == q1:
+            raise ConstructionError(
+                f"delta({q0!r}, {q1!r}) leaves {q1!r} unchanged; the construction "
+                "needs an interaction that changes the q1-side agent"
+            )
+        self.q0 = q0
+        self.q1 = q1
+        self.q1_prime = self.protocol.delta(q0, q1)[1]
+        self.extension_seed = extension_seed
+        self.max_extension = max_extension
+        self.max_ftt_depth = max_ftt_depth
+
+        self._two_agent_c0 = Configuration(
+            [simulator.initial_state(q0), simulator.initial_state(q1)]
+        )
+        self._engine = SimulationEngine(
+            simulator, model, scheduler=RandomScheduler(2, seed=extension_seed)
+        )
+
+    # -- building blocks -------------------------------------------------------------------------
+
+    def compute_ftt(self) -> FTTResult:
+        """The simulator's FTT from (q0, q1), with a witness run ``I``."""
+        return fastest_transition_time(
+            self.simulator,
+            self.model,
+            self._two_agent_c0,
+            max_depth=self.max_ftt_depth,
+        )
+
+    def _apply(self, configuration: Configuration, interaction: Interaction) -> Configuration:
+        return self._engine.execute_interaction(configuration, interaction)
+
+    def _d1_projection(self, configuration: Configuration) -> State:
+        return self.simulator.project(configuration[1])
+
+    def build_ik(self, witness: Run, k: int) -> Tuple[Run, int]:
+        """Build ``I_k`` and its commit time ``t_k`` (Lemma 1, first paragraph of the proof).
+
+        ``I_k`` copies the first ``k`` interactions of the witness run, appends
+        one omissive interaction with the same starter as ``I[k]`` and the
+        omission detected on agent ``d1``'s side, then extends the run fairly
+        (and without further omissions) until ``d1``'s simulated state becomes
+        ``q1'``.
+        """
+        base = witness[k]
+        d1_is_starter = base.starter == 1
+        omission = (
+            Omission(starter_lost=True) if d1_is_starter else Omission(reactor_lost=True)
+        )
+        interactions: List[Interaction] = list(witness[:k])
+        interactions.append(Interaction(base.starter, base.reactor, omission=omission))
+
+        configuration = self._two_agent_c0
+        commit_time: Optional[int] = None
+        for index, interaction in enumerate(interactions):
+            configuration = self._apply(configuration, interaction)
+            if self._d1_projection(configuration) == self.q1_prime:
+                commit_time = index + 1
+                break
+
+        rng = random.Random(self.extension_seed * 1_000_003 + k)
+        while commit_time is None:
+            if len(interactions) >= self.max_extension:
+                raise ConstructionError(
+                    f"I_{k}: the simulator did not commit d1's transition within "
+                    f"{self.max_extension} interactions after a single omission; "
+                    "it is not resilient to one omission from this configuration"
+                )
+            pair = (0, 1) if rng.random() < 0.5 else (1, 0)
+            interaction = Interaction(*pair)
+            interactions.append(interaction)
+            configuration = self._apply(configuration, interaction)
+            if self._d1_projection(configuration) == self.q1_prime:
+                commit_time = len(interactions)
+        return Run(interactions), commit_time
+
+    def build_attack_run(self) -> Tuple[Run, FTTResult]:
+        """Assemble the full ``2t + 2``-agent run ``I*`` (Figure 2 of the paper)."""
+        ftt_result = self.compute_ftt()
+        witness = ftt_result.witness
+        t = ftt_result.ftt
+        if t == 0:
+            raise ConstructionError("FTT is 0; nothing to attack")
+
+        generator_a = 2 * t      # the paper's a_{2t}: the extra consumer that gets fooled.
+        generator_b = 2 * t + 1  # the paper's a_{2t+1}: the omission "generator".
+
+        attack: List[Interaction] = []
+        for k in range(t):
+            ik_run, commit_time = self.build_ik(witness, k)
+            relabel = {0: 2 * k, 1: 2 * k + 1}
+
+            # (a) replicate the first k interactions of I between the pair.
+            attack.extend(interaction.relabel(relabel) for interaction in witness[:k])
+
+            # (b) redirect I[k]: a_{2k} interacts with a_{2t}, keeping d0's role.
+            base = witness[k]
+            if base.starter == 0:
+                attack.append(Interaction(2 * k, generator_a))
+            else:
+                attack.append(Interaction(generator_a, 2 * k))
+
+            # (c) the omissive interaction between a_{2k+1} and a_{2t+1},
+            #     with a_{2k+1} keeping d1's role and the omission on its side.
+            if base.starter == 1:
+                attack.append(
+                    Interaction(2 * k + 1, generator_b, omission=Omission(starter_lost=True))
+                )
+            else:
+                attack.append(
+                    Interaction(generator_b, 2 * k + 1, omission=Omission(reactor_lost=True))
+                )
+
+            # (d) replicate the remainder of I_k until d1's commit time.
+            for interaction in ik_run[k + 1 : commit_time]:
+                attack.append(interaction.relabel(relabel))
+
+        return Run(attack), ftt_result
+
+    def initial_configuration(self, t: int) -> Configuration:
+        """The configuration ``B0``: agents ``a_{2k}`` start in ``q0``, all others in ``q1``."""
+        states = []
+        for agent in range(2 * t + 2):
+            if agent % 2 == 0 and agent < 2 * t:
+                states.append(self.simulator.initial_state(self.q0))
+            else:
+                states.append(self.simulator.initial_state(self.q1))
+        return Configuration(states)
+
+    # -- end-to-end execution ---------------------------------------------------------------------------
+
+    def execute(self) -> Lemma1Result:
+        """Build ``I*``, run it, and report the resulting safety violation."""
+        attack_run, ftt_result = self.build_attack_run()
+        t = ftt_result.ftt
+        initial = self.initial_configuration(t)
+        engine = SimulationEngine(
+            self.simulator, self.model, scheduler=RandomScheduler(len(initial), seed=0)
+        )
+        trace = engine.replay(initial, attack_run)
+
+        final_projected = trace.final_configuration.project(self.simulator.project)
+        transitions = final_projected.count(self.q1_prime)
+        producers = t
+        return Lemma1Result(
+            ftt=t,
+            population=len(initial),
+            omissions_used=attack_run.omission_count(),
+            q0=self.q0,
+            q1=self.q1,
+            q1_prime=self.q1_prime,
+            q1_to_q1_prime_transitions=transitions,
+            producers=producers,
+            safety_bound=producers,
+            safety_violated=transitions > producers,
+            attack_run=attack_run,
+            trace=trace,
+        )
+
+
+# ---------------------------------------------------------------------------------------------
+# Theorem 3.2 (NO1 adversary in T1 / I1 / I2)
+# ---------------------------------------------------------------------------------------------
+
+
+@dataclass
+class NO1AttackResult:
+    """Outcome of the single-omission attack in a weak omission model."""
+
+    model_name: str
+    omissions_used: int
+    steps_executed: int
+    expected_committed: int
+    committed: int
+    liveness_violated: bool
+    safety_violated: bool
+    trace: Trace
+
+    def summary(self) -> str:
+        if self.safety_violated:
+            status = "SAFETY VIOLATED"
+        elif self.liveness_violated:
+            status = "LIVENESS VIOLATED (stalled)"
+        else:
+            status = "simulation survived"
+        return (
+            f"{self.model_name}: omissions={self.omissions_used} "
+            f"committed={self.committed}/{self.expected_committed} "
+            f"steps={self.steps_executed} -> {status}"
+        )
+
+
+def no1_liveness_attack(
+    simulator: Any,
+    model_name: str,
+    target_state: State,
+    expected_committed: int,
+    initial_p_configuration: Configuration,
+    safety_bound: Optional[int] = None,
+    max_steps: int = 40_000,
+    seed: int = 0,
+) -> NO1AttackResult:
+    """Run a simulator in a weak omission model under the NO1 adversary.
+
+    A single omissive interaction is injected at the very beginning of the
+    execution (while the first token is in flight); the rest of the run is a
+    long fair random schedule with no further omissions.  The attack checks
+    whether, despite the overwhelmingly fair continuation, the simulation
+    fails to bring ``expected_committed`` agents into ``target_state``
+    (liveness violation) or overshoots ``safety_bound`` (safety violation).
+
+    Per Theorem 3.2, in ``T1``, ``I1`` and ``I2`` a correct simulation after
+    the single omission is impossible; for the token-based ``SKnO`` the
+    failure mode is a stall, because the lost token can never be detected or
+    replaced.
+    """
+    model = get_model(model_name)
+    if not model.allows_omissions:
+        raise ConstructionError(f"model {model_name} does not admit omissions")
+
+    program = simulator
+    initial = Configuration(
+        [simulator.initial_state(p_state) for p_state in initial_p_configuration]
+    )
+    n = len(initial)
+    scheduler = RandomScheduler(n, seed=seed)
+    adversary = NO1Adversary(model, inject_at=0, pair=(0, 1), seed=seed)
+    engine = SimulationEngine(program, model, scheduler, adversary=adversary)
+    trace = engine.run(initial, max_steps=max_steps)
+
+    final_projected = trace.final_configuration.project(simulator.project)
+    committed = final_projected.count(target_state)
+    liveness_violated = committed < expected_committed
+    safety_violated = safety_bound is not None and committed > safety_bound
+
+    return NO1AttackResult(
+        model_name=model.name,
+        omissions_used=trace.omission_count(),
+        steps_executed=len(trace),
+        expected_committed=expected_committed,
+        committed=committed,
+        liveness_violated=liveness_violated,
+        safety_violated=safety_violated,
+        trace=trace,
+    )

@@ -1,0 +1,240 @@
+"""Online omission adversaries (Definitions 1 and 2).
+
+The paper's adversaries are run rewriters: they take a run ``I`` and output
+a new run obtained by inserting finite sequences of *omissive* interactions
+between consecutive interactions of ``I``.  The crucial point is that the
+original interactions are untouched — the adversary can only add omissive
+noise, not suppress the fair schedule.
+
+Here the adversaries are implemented *online*: before each scheduled
+interaction, the engine asks the adversary for the (possibly empty) list of
+omissive interactions to inject.  This is exactly the rewriting of
+Definitions 1 and 2, applied lazily to whatever run the scheduler is
+producing.
+
+* :class:`UOAdversary` — the Unfair Omissive adversary: may keep inserting
+  omissions forever.
+* :class:`NOAdversary` — the Eventually Non-Omissive adversary: inserts
+  omissions only before finitely many scheduled interactions.
+* :class:`NO1Adversary` — inserts at most one omissive interaction in the
+  entire execution.
+* :class:`BoundedOmissionAdversary` — inserts at most ``o`` omissive
+  interactions; this realises the "known upper bound on the number of
+  omissions" assumption of Theorem 4.1.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.interaction.models import InteractionModel
+from repro.interaction.omissions import Omission
+from repro.scheduling.runs import Interaction
+
+
+class OmissionAdversary:
+    """Base class: decides which omissive interactions to inject before each scheduled one."""
+
+    def interactions_before(
+        self, step: int, scheduled: Interaction, n: int
+    ) -> List[Interaction]:
+        """The omissive interactions to execute just before the ``step``-th scheduled one."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Reset internal state (budgets, RNG) so the adversary can be reused."""
+
+    # -- helpers shared by the concrete adversaries ---------------------------------------
+
+    @staticmethod
+    def _random_pair(rng: random.Random, n: int) -> Tuple[int, int]:
+        starter = rng.randrange(n)
+        reactor = rng.randrange(n - 1)
+        if reactor >= starter:
+            reactor += 1
+        return starter, reactor
+
+
+class NoOmissionAdversary(OmissionAdversary):
+    """The trivial adversary that never injects anything."""
+
+    def interactions_before(
+        self, step: int, scheduled: Interaction, n: int
+    ) -> List[Interaction]:
+        return []
+
+
+class _RandomOmissionMixin:
+    """Shared machinery: choose random pairs and random admissible omission kinds."""
+
+    def __init__(self, model: InteractionModel, seed: Optional[int] = None):
+        self.model = model
+        omissive = [o for o in model.admissible_omissions() if o.is_omissive]
+        if not omissive:
+            raise ValueError(
+                f"model {model.name} does not admit omissive interactions; "
+                "an omission adversary cannot operate on it"
+            )
+        self._omissive_kinds: Sequence[Omission] = tuple(omissive)
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def _make_omissive_interaction(self, n: int) -> Interaction:
+        starter, reactor = OmissionAdversary._random_pair(self._rng, n)
+        omission = self._rng.choice(self._omissive_kinds)
+        return Interaction(starter, reactor, omission=omission)
+
+    def _reset_rng(self) -> None:
+        self._rng = random.Random(self._seed)
+
+
+class UOAdversary(_RandomOmissionMixin, OmissionAdversary):
+    """Unfair Omissive adversary: injects omissions forever (Definition 1).
+
+    Before every scheduled interaction it injects a geometrically distributed
+    number of omissive interactions with mean ``rate`` (so ``rate = 0.5``
+    averages one omission every two scheduled interactions), between random
+    pairs and with a random admissible omission kind for the model.
+    """
+
+    def __init__(
+        self,
+        model: InteractionModel,
+        rate: float = 0.25,
+        max_per_gap: int = 3,
+        seed: Optional[int] = None,
+    ):
+        if rate < 0:
+            raise ValueError("rate must be non-negative")
+        if max_per_gap < 0:
+            raise ValueError("max_per_gap must be non-negative")
+        super().__init__(model=model, seed=seed)
+        self.rate = rate
+        self.max_per_gap = max_per_gap
+        self.total_injected = 0
+
+    def interactions_before(
+        self, step: int, scheduled: Interaction, n: int
+    ) -> List[Interaction]:
+        injected: List[Interaction] = []
+        probability = self.rate / (1.0 + self.rate)
+        while len(injected) < self.max_per_gap and self._rng.random() < probability:
+            injected.append(self._make_omissive_interaction(n))
+        self.total_injected += len(injected)
+        return injected
+
+    def reset(self) -> None:
+        self._reset_rng()
+        self.total_injected = 0
+
+
+class NOAdversary(_RandomOmissionMixin, OmissionAdversary):
+    """Eventually Non-Omissive adversary (Definition 2).
+
+    Behaves like :class:`UOAdversary` during the first ``active_steps``
+    scheduled interactions, then stops injecting forever.
+    """
+
+    def __init__(
+        self,
+        model: InteractionModel,
+        active_steps: int = 100,
+        rate: float = 0.25,
+        max_per_gap: int = 3,
+        seed: Optional[int] = None,
+    ):
+        if active_steps < 0:
+            raise ValueError("active_steps must be non-negative")
+        super().__init__(model=model, seed=seed)
+        self.active_steps = active_steps
+        self.rate = rate
+        self.max_per_gap = max_per_gap
+        self.total_injected = 0
+
+    def interactions_before(
+        self, step: int, scheduled: Interaction, n: int
+    ) -> List[Interaction]:
+        if step >= self.active_steps:
+            return []
+        injected: List[Interaction] = []
+        probability = self.rate / (1.0 + self.rate)
+        while len(injected) < self.max_per_gap and self._rng.random() < probability:
+            injected.append(self._make_omissive_interaction(n))
+        self.total_injected += len(injected)
+        return injected
+
+    def reset(self) -> None:
+        self._reset_rng()
+        self.total_injected = 0
+
+
+class BoundedOmissionAdversary(_RandomOmissionMixin, OmissionAdversary):
+    """Adversary with a hard budget of at most ``max_omissions`` injected omissions.
+
+    This is the adversary against which ``SKnO`` is designed: the simulator
+    is told an upper bound ``o`` on the number of omissions, and this
+    adversary guarantees the bound holds.  The omissions are spread over the
+    first part of the execution (one per gap with probability ``rate`` until
+    the budget runs out).
+    """
+
+    def __init__(
+        self,
+        model: InteractionModel,
+        max_omissions: int,
+        rate: float = 0.5,
+        seed: Optional[int] = None,
+    ):
+        if max_omissions < 0:
+            raise ValueError("max_omissions must be non-negative")
+        super().__init__(model=model, seed=seed)
+        self.max_omissions = max_omissions
+        self.rate = rate
+        self.total_injected = 0
+
+    def interactions_before(
+        self, step: int, scheduled: Interaction, n: int
+    ) -> List[Interaction]:
+        if self.total_injected >= self.max_omissions:
+            return []
+        if self._rng.random() >= self.rate:
+            return []
+        self.total_injected += 1
+        return [self._make_omissive_interaction(n)]
+
+    def reset(self) -> None:
+        self._reset_rng()
+        self.total_injected = 0
+
+
+class NO1Adversary(BoundedOmissionAdversary):
+    """The NO1 adversary: at most one omission in the entire execution (Definition 2).
+
+    ``inject_at`` pins the scheduled step before which the single omission is
+    injected (useful for deterministic attack demonstrations); by default the
+    omission is injected before the first scheduled interaction.
+    """
+
+    def __init__(
+        self,
+        model: InteractionModel,
+        inject_at: int = 0,
+        pair: Optional[Tuple[int, int]] = None,
+        seed: Optional[int] = None,
+    ):
+        super().__init__(model=model, max_omissions=1, rate=1.0, seed=seed)
+        self.inject_at = inject_at
+        self.pair = pair
+
+    def interactions_before(
+        self, step: int, scheduled: Interaction, n: int
+    ) -> List[Interaction]:
+        if self.total_injected >= 1 or step != self.inject_at:
+            return []
+        self.total_injected += 1
+        if self.pair is not None:
+            starter, reactor = self.pair
+            omission = self._rng.choice(self._omissive_kinds)
+            return [Interaction(starter, reactor, omission=omission)]
+        return [self._make_omissive_interaction(n)]

@@ -1,0 +1,41 @@
+"""Analysis utilities: the Figure 4 results map, statistics and plain-text reporting."""
+
+from repro.analysis.results_map import (
+    Feasibility,
+    ResultCell,
+    RESULTS_MAP,
+    results_map,
+    feasibility,
+    assumptions,
+    models_in_map,
+)
+from repro.analysis.reporting import format_table, format_results_map
+from repro.analysis.statistics import summarize_counts, SummaryStats
+from repro.analysis.reachability import (
+    ReachabilityResult,
+    InvariantReport,
+    StabilisationReport,
+    explore,
+    check_invariant,
+    check_stabilisation,
+)
+
+__all__ = [
+    "Feasibility",
+    "ResultCell",
+    "RESULTS_MAP",
+    "results_map",
+    "feasibility",
+    "assumptions",
+    "models_in_map",
+    "format_table",
+    "format_results_map",
+    "summarize_counts",
+    "SummaryStats",
+    "ReachabilityResult",
+    "InvariantReport",
+    "StabilisationReport",
+    "explore",
+    "check_invariant",
+    "check_stabilisation",
+]

@@ -1,0 +1,60 @@
+"""Plain-text table rendering for benchmark and example output.
+
+The paper is a theory paper and reports no numeric tables, so the benchmark
+harness regenerates its *figures and theorems* as plain-text tables: the
+hierarchy of Figure 1, the map of Figure 4, FTT / overhead / memory sweeps.
+This module keeps that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.analysis.results_map import (
+    ASSUMPTIONS,
+    ResultCell,
+    results_map,
+)
+from repro.interaction.models import ALL_MODELS
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a list of rows as an aligned plain-text table."""
+    rows = [[str(cell) for cell in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            if index >= len(widths):
+                widths.append(len(cell))
+            else:
+                widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        padded = [cell.ljust(widths[index]) for index, cell in enumerate(cells)]
+        return "| " + " | ".join(padded) + " |"
+
+    separator = "|-" + "-|-".join("-" * width for width in widths) + "-|"
+    lines = [render_row(headers), separator]
+    lines.extend(render_row(row) for row in rows)
+    return "\n".join(lines)
+
+
+def format_results_map(overrides: Dict[Tuple[str, str], str] = None) -> str:
+    """Render the Figure 4 map as a table.
+
+    ``overrides`` optionally replaces the label of specific cells — the
+    Figure 4 benchmark uses it to mark cells whose empirical check passed or
+    failed.
+    """
+    overrides = overrides or {}
+    cells = results_map()
+    headers = ["model"] + [assumption for assumption in ASSUMPTIONS]
+    rows: List[List[str]] = []
+    for model in ALL_MODELS:
+        row = [model.name]
+        for assumption in ASSUMPTIONS:
+            cell: ResultCell = cells[(model.name, assumption)]
+            row.append(overrides.get((model.name, assumption), cell.label()))
+        rows.append(row)
+    return format_table(headers, rows)

@@ -1,0 +1,84 @@
+"""Small statistical helpers shared by benchmarks and experiment reports."""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Summary statistics of a sample of non-negative measurements."""
+
+    count: int
+    mean: float
+    median: float
+    minimum: float
+    maximum: float
+    stdev: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.2f} median={self.median:.2f} "
+            f"min={self.minimum:.2f} max={self.maximum:.2f} sd={self.stdev:.2f}"
+        )
+
+
+def summarize_counts(values: Iterable[float]) -> Optional[SummaryStats]:
+    """Summarise a sample; returns ``None`` for an empty sample."""
+    data: List[float] = [float(v) for v in values]
+    if not data:
+        return None
+    return SummaryStats(
+        count=len(data),
+        mean=statistics.fmean(data),
+        median=statistics.median(data),
+        minimum=min(data),
+        maximum=max(data),
+        stdev=statistics.pstdev(data) if len(data) > 1 else 0.0,
+    )
+
+
+def growth_ratio(values: Sequence[float]) -> Optional[float]:
+    """Average ratio between consecutive values (``None`` when undefined).
+
+    Used to check growth shapes: a sequence that doubles every step has a
+    growth ratio of about 2, a logarithmically growing one has a ratio close
+    to 1.
+    """
+    if len(values) < 2:
+        return None
+    ratios = []
+    for previous, current in zip(values, values[1:]):
+        if previous <= 0:
+            return None
+        ratios.append(current / previous)
+    return statistics.fmean(ratios)
+
+
+def is_monotone_nondecreasing(values: Sequence[float], tolerance: float = 0.0) -> bool:
+    """Whether the sequence never decreases by more than ``tolerance``."""
+    return all(b >= a - tolerance for a, b in zip(values, values[1:]))
+
+
+def correlation_with_log(values: Sequence[float], sizes: Sequence[float]) -> Optional[float]:
+    """Pearson correlation between measurements and ``log2`` of the problem sizes.
+
+    Benchmarks use it as a coarse shape check that a measured quantity grows
+    (at most) logarithmically: a strong positive correlation with ``log n``
+    together with a small growth ratio is consistent with the Theta(log n)
+    bounds of Theorems 4.1 and 4.6.
+    """
+    if len(values) != len(sizes) or len(values) < 3:
+        return None
+    logs = [math.log2(max(2.0, float(s))) for s in sizes]
+    mean_v = statistics.fmean(values)
+    mean_l = statistics.fmean(logs)
+    cov = sum((v - mean_v) * (l - mean_l) for v, l in zip(values, logs))
+    var_v = sum((v - mean_v) ** 2 for v in values)
+    var_l = sum((l - mean_l) ** 2 for l in logs)
+    if var_v == 0 or var_l == 0:
+        return None
+    return cov / math.sqrt(var_v * var_l)

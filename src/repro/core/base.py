@@ -1,0 +1,126 @@
+"""Base class for two-way protocol simulators (Section 2.4).
+
+A simulator ``S(P)`` is, operationally, just a protocol for a weaker model
+whose local states are pairs of a *simulated* state (a state of ``P``) and
+some simulator bookkeeping.  The base class below fixes the interface every
+simulator in this library implements:
+
+* it *is* a :class:`repro.protocols.OneWayProtocol`, so the engine can run
+  it directly under any of the one-way models (and, via
+  :func:`repro.interaction.adapters.one_way_as_two_way`, under the two-way
+  omissive models used by the impossibility constructions);
+* it knows how to build initial composite states from initial states of
+  ``P`` plus whatever knowledge it assumes (unique IDs, population size,
+  omission bound);
+* it can project composite states back onto ``Q_P`` (the function ``pi_P``);
+* it can extract, from an execution trace, the *simulation events* (updates
+  of simulated states) together with enough hints to build the perfect
+  matching of Definition 3.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.events import Matching, SimulationEvent
+from repro.engine.trace import Trace
+from repro.protocols.protocol import OneWayProtocol, PopulationProtocol
+from repro.protocols.state import Configuration, State
+
+
+class SimulatorError(Exception):
+    """Raised on invalid simulator construction or use."""
+
+
+class TwoWaySimulator(OneWayProtocol):
+    """Abstract simulator of two-way protocols on weaker interaction models."""
+
+    #: Names of the interaction models this simulator is designed for.
+    compatible_models: Tuple[str, ...] = ()
+
+    def __init__(self, protocol: PopulationProtocol, name: Optional[str] = None):
+        if not isinstance(protocol, PopulationProtocol):
+            raise SimulatorError(
+                "a simulator wraps a two-way PopulationProtocol; got "
+                f"{type(protocol).__name__}"
+            )
+        super().__init__(states=None, initial_states=None, name=name or type(self).__name__)
+        self._protocol = protocol
+
+    # -- simulated protocol ------------------------------------------------------------------
+
+    @property
+    def protocol(self) -> PopulationProtocol:
+        """The simulated two-way protocol ``P``."""
+        return self._protocol
+
+    def delta(self, starter: State, reactor: State) -> Tuple[State, State]:
+        """Shorthand for the simulated protocol's transition function."""
+        return self._protocol.delta(starter, reactor)
+
+    # -- state construction and projection ------------------------------------------------------
+
+    def initial_state(self, p_state: State, **knowledge: Any) -> State:
+        """The composite initial state of an agent whose ``P``-state is ``p_state``.
+
+        ``knowledge`` carries whatever the concrete simulator assumes
+        (``agent_id=...`` for :class:`SIDSimulator`, nothing for
+        :class:`SKnOSimulator`, ...).
+        """
+        raise NotImplementedError
+
+    def initial_configuration(
+        self, p_configuration: Configuration, **knowledge: Any
+    ) -> Configuration:
+        """Composite initial configuration for a whole population.
+
+        The default builds each agent's state with :meth:`initial_state`,
+        forwarding per-agent knowledge when ``knowledge`` contains sequences
+        (e.g. ``ids=[...]``); concrete simulators override this when they
+        need something richer.
+        """
+        return Configuration(
+            self.initial_state(p_state) for p_state in p_configuration
+        )
+
+    def project(self, state: State) -> State:
+        """The projection ``pi_P`` onto the simulated protocol's state."""
+        raise NotImplementedError
+
+    def project_configuration(self, configuration: Configuration) -> Configuration:
+        """Apply ``pi_P`` to every agent of a configuration."""
+        return configuration.project(self.project)
+
+    # -- event extraction (Definitions 3 and 4) ----------------------------------------------------
+
+    def extract_events(self, trace: Trace) -> List[SimulationEvent]:
+        """The sequence of simulation events of an execution trace.
+
+        An event is recorded for every update of an agent's simulated state,
+        annotated with the role the agent played in the simulated two-way
+        interaction and with matching hints (the partner's simulated
+        pre-state, and the partner's identity when the simulator knows it).
+        """
+        raise NotImplementedError
+
+    def extract_matching(self, trace: Trace) -> Matching:
+        """Events plus the perfect-matching pairs for an execution trace.
+
+        The default implementation pairs starter-role events with
+        reactor-role events greedily using the events' matching keys; see
+        :class:`repro.core.events.Matching` for the exact rules.  Simulators
+        with precise partner information (e.g. ``SID``) override the pairing
+        with an exact one.
+        """
+        events = self.extract_events(trace)
+        return Matching.greedy(self._protocol, events)
+
+    # -- misc -----------------------------------------------------------------------------------------
+
+    def describe(self) -> str:
+        """One-line human-readable description of the simulator instance."""
+        models = "/".join(self.compatible_models) or "?"
+        return f"{self.name} simulating {self._protocol.name!r} on {models}"
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} protocol={self._protocol.name!r}>"

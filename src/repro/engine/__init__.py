@@ -1,0 +1,34 @@
+"""Discrete-event execution engine for population protocols.
+
+The engine ties together a *program* (a two-way protocol, a one-way
+protocol, or a simulator from :mod:`repro.core`), an *interaction model*
+(from :mod:`repro.interaction`), a *scheduler* (from
+:mod:`repro.scheduling`) and optionally an *omission adversary* (from
+:mod:`repro.adversary`), and produces an execution :class:`Trace` that
+records every interaction together with the state changes it caused.
+
+Traces are the raw material of all analyses in the library: simulation
+verification (events / matchings / derived runs), problem checkers
+(safety/liveness), fairness diagnostics and the benchmark harness.
+"""
+
+from repro.engine.trace import Trace, TraceStep
+from repro.engine.engine import SimulationEngine, EngineError
+from repro.engine.convergence import (
+    ConvergenceResult,
+    run_until_stable,
+    stable_output_condition,
+)
+from repro.engine.experiment import ExperimentResult, repeat_experiment
+
+__all__ = [
+    "Trace",
+    "TraceStep",
+    "SimulationEngine",
+    "EngineError",
+    "ConvergenceResult",
+    "run_until_stable",
+    "stable_output_condition",
+    "ExperimentResult",
+    "repeat_experiment",
+]

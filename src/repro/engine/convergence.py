@@ -1,0 +1,154 @@
+"""Convergence / stabilisation detection.
+
+Population protocols compute by *stabilisation*: the outputs of all agents
+eventually stop changing and agree with the value being computed.  Because
+our executions are finite prefixes, convergence is detected empirically: we
+run the engine in chunks and declare convergence once a user-supplied
+predicate has held over a sliding window of consecutive configurations (the
+window guards against predicates that hold transiently on the way to the
+true fixed point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.engine.engine import SimulationEngine
+from repro.engine.trace import Trace
+from repro.protocols.state import Configuration
+
+
+@dataclass
+class ConvergenceResult:
+    """Outcome of a :func:`run_until_stable` experiment."""
+
+    converged: bool
+    steps_executed: int
+    steps_to_convergence: Optional[int]
+    trace: Trace
+
+    @property
+    def final_configuration(self) -> Configuration:
+        return self.trace.final_configuration
+
+
+def stable_output_condition(
+    program: Any, expected_output: Any, projection: Optional[Callable] = None
+) -> Callable[[Configuration], bool]:
+    """Build a predicate: "every agent currently outputs ``expected_output``".
+
+    ``program`` must expose ``output(state)``.  When ``projection`` is given
+    (e.g. a simulator's ``project``), states are projected before the output
+    map is applied — this is how simulated protocols' outputs are read out of
+    simulator configurations.
+    """
+
+    def predicate(configuration: Configuration) -> bool:
+        for state in configuration:
+            value = state if projection is None else projection(state)
+            if program.output(value) != expected_output:
+                return False
+        return True
+
+    return predicate
+
+
+def run_until_stable(
+    engine: SimulationEngine,
+    initial_configuration: Configuration,
+    predicate: Callable[[Configuration], bool],
+    max_steps: int = 100_000,
+    stability_window: int = 0,
+) -> ConvergenceResult:
+    """Run until ``predicate`` holds for ``stability_window + 1`` consecutive configurations.
+
+    Parameters
+    ----------
+    predicate:
+        Evaluated after every executed interaction.
+    max_steps:
+        Hard cap on the number of executed interactions.
+    stability_window:
+        Number of *additional* consecutive configurations (beyond the first
+        satisfying one) for which the predicate must keep holding.  A window
+        of 0 stops at the first satisfying configuration; protocols whose
+        predicate can hold transiently should use a window of a few hundred
+        interactions.
+
+    Notes
+    -----
+    The returned trace covers the whole execution, including the stability
+    window, so ``steps_to_convergence`` (the index of the first
+    configuration of the final stable streak) can be smaller than
+    ``steps_executed``.
+    """
+    consecutive = 0
+    first_of_streak: Optional[int] = None
+
+    if predicate(initial_configuration):
+        consecutive = 1
+        first_of_streak = 0
+
+    # We drive the engine one interaction at a time through stop conditions
+    # so the predicate sees every intermediate configuration.
+    steps_done = 0
+    trace = Trace(initial_configuration)
+
+    scheduler_step = 0
+    configuration = initial_configuration
+    while steps_done < max_steps:
+        if consecutive >= stability_window + 1:
+            return ConvergenceResult(
+                converged=True,
+                steps_executed=steps_done,
+                steps_to_convergence=first_of_streak,
+                trace=trace,
+            )
+        try:
+            scheduled = engine.scheduler.next_interaction(scheduler_step)
+        except Exception as exc:  # SchedulerExhausted is the only expected case
+            from repro.scheduling.scheduler import SchedulerExhausted
+
+            if isinstance(exc, SchedulerExhausted):
+                break
+            raise
+        scheduler_step += 1
+
+        interactions = []
+        if engine.adversary is not None:
+            interactions.extend(
+                engine.adversary.interactions_before(
+                    step=scheduler_step - 1, scheduled=scheduled, n=len(configuration)
+                )
+            )
+        interactions.append(scheduled)
+
+        for interaction in interactions:
+            if steps_done >= max_steps:
+                break
+            starter_pre = configuration[interaction.starter]
+            reactor_pre = configuration[interaction.reactor]
+            starter_post, reactor_post = engine.model.apply(
+                engine.program, starter_pre, reactor_pre, interaction.omission
+            )
+            trace.record(interaction, starter_post, reactor_post)
+            configuration = trace.final_configuration
+            steps_done += 1
+            if predicate(configuration):
+                if consecutive == 0:
+                    first_of_streak = steps_done
+                consecutive += 1
+                if consecutive >= stability_window + 1:
+                    break
+            else:
+                consecutive = 0
+                first_of_streak = None
+
+    converged = consecutive >= stability_window + 1
+    return ConvergenceResult(
+        converged=converged,
+        steps_executed=steps_done,
+        steps_to_convergence=first_of_streak if converged else None,
+        trace=trace,
+    )

@@ -1,0 +1,161 @@
+"""The simulation engine.
+
+:class:`SimulationEngine` executes a program under an interaction model,
+drawing interactions from a scheduler and (optionally) letting an omission
+adversary inject omissive interactions between scheduled ones, exactly as
+the adversaries of Definitions 1 and 2 rewrite runs.
+
+The engine is deliberately small: all protocol semantics live in the
+interaction model (:mod:`repro.interaction.models`) and all policy lives in
+the scheduler/adversary, so the engine itself is just the loop that threads
+a configuration through a sequence of interactions while recording a trace.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.interaction.models import InteractionModel, ModelError
+from repro.interaction.omissions import NO_OMISSION
+from repro.protocols.state import Configuration
+from repro.scheduling.runs import Interaction
+from repro.scheduling.scheduler import Scheduler, SchedulerExhausted
+from repro.engine.trace import Trace
+
+
+class EngineError(Exception):
+    """Raised on invalid engine configuration or execution errors."""
+
+
+class SimulationEngine:
+    """Executes a program on a population under a given interaction model.
+
+    Parameters
+    ----------
+    program:
+        The protocol to execute: a two-way protocol for two-way models, a
+        one-way protocol or simulator for one-way models.
+    model:
+        The interaction model (one of the ten models of Figure 1).
+    scheduler:
+        Source of the scheduled (non-omissive) interactions.
+    adversary:
+        Optional omission adversary; consulted before every scheduled
+        interaction and allowed to inject omissive interactions
+        (Definitions 1 and 2).  ``None`` means no omissions beyond those
+        already carried by the scheduled interactions themselves.
+    """
+
+    def __init__(
+        self,
+        program: Any,
+        model: InteractionModel,
+        scheduler: Scheduler,
+        adversary: Optional[Any] = None,
+    ):
+        self.program = program
+        self.model = model
+        self.scheduler = scheduler
+        self.adversary = adversary
+
+    # -- single-interaction execution -------------------------------------------------------
+
+    def execute_interaction(
+        self, configuration: Configuration, interaction: Interaction
+    ) -> Configuration:
+        """Apply one interaction to a configuration and return the new configuration."""
+        n = len(configuration)
+        if interaction.starter >= n or interaction.reactor >= n:
+            raise EngineError(
+                f"interaction {interaction} references agents outside the population "
+                f"of size {n}"
+            )
+        starter_pre = configuration[interaction.starter]
+        reactor_pre = configuration[interaction.reactor]
+        starter_post, reactor_post = self.model.apply(
+            self.program, starter_pre, reactor_pre, interaction.omission
+        )
+        return configuration.apply_interaction(
+            interaction.starter, interaction.reactor, starter_post, reactor_post
+        )
+
+    # -- full runs ----------------------------------------------------------------------------
+
+    def run(
+        self,
+        initial_configuration: Configuration,
+        max_steps: int,
+        stop_condition: Optional[Callable[[Configuration], bool]] = None,
+    ) -> Trace:
+        """Execute up to ``max_steps`` interactions and return the trace.
+
+        ``stop_condition`` is evaluated on the configuration after every
+        executed interaction; when it returns ``True`` the run stops early.
+        Every executed interaction (scheduled or adversary-injected) counts
+        towards ``max_steps``.
+        """
+        if max_steps < 0:
+            raise EngineError("max_steps must be non-negative")
+        if len(initial_configuration) < 2 and max_steps > 0:
+            raise EngineError("a population of fewer than two agents cannot interact")
+
+        trace = Trace(initial_configuration)
+        configuration = initial_configuration
+        scheduler_step = 0
+        executed = 0
+
+        while executed < max_steps:
+            try:
+                scheduled = self.scheduler.next_interaction(scheduler_step)
+            except SchedulerExhausted:
+                break
+            scheduler_step += 1
+
+            to_execute = []
+            if self.adversary is not None:
+                injected = self.adversary.interactions_before(
+                    step=scheduler_step - 1,
+                    scheduled=scheduled,
+                    n=len(configuration),
+                )
+                to_execute.extend(injected)
+            to_execute.append(scheduled)
+
+            stop = False
+            for interaction in to_execute:
+                if executed >= max_steps:
+                    break
+                starter_pre = configuration[interaction.starter]
+                reactor_pre = configuration[interaction.reactor]
+                starter_post, reactor_post = self.model.apply(
+                    self.program, starter_pre, reactor_pre, interaction.omission
+                )
+                trace.record(interaction, starter_post, reactor_post)
+                configuration = trace.final_configuration
+                executed += 1
+                if stop_condition is not None and stop_condition(configuration):
+                    stop = True
+                    break
+            if stop:
+                break
+
+        return trace
+
+    def replay(self, initial_configuration: Configuration, run) -> Trace:
+        """Execute an explicit run (sequence of interactions) and return the trace.
+
+        The scheduler and adversary are bypassed: the given interactions,
+        including their omission flags, are executed verbatim.  This is how
+        the scripted attack constructions of Section 3 are evaluated.
+        """
+        trace = Trace(initial_configuration)
+        configuration = initial_configuration
+        for interaction in run:
+            starter_pre = configuration[interaction.starter]
+            reactor_pre = configuration[interaction.reactor]
+            starter_post, reactor_post = self.model.apply(
+                self.program, starter_pre, reactor_pre, interaction.omission
+            )
+            trace.record(interaction, starter_post, reactor_post)
+            configuration = trace.final_configuration
+        return trace

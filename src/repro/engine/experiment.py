@@ -1,0 +1,127 @@
+"""Batch experiment runner.
+
+Most of the benchmark harness follows the same pattern: run the same system
+(program, model, adversary) with many random-scheduler seeds, check a
+per-run success criterion, and aggregate convergence statistics.  This
+module factors that pattern out so benchmarks and integration tests stay
+declarative.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.engine.convergence import ConvergenceResult, run_until_stable
+from repro.engine.engine import SimulationEngine
+from repro.interaction.models import InteractionModel
+from repro.protocols.state import Configuration
+from repro.scheduling.scheduler import RandomScheduler
+
+
+@dataclass
+class ExperimentResult:
+    """Aggregate outcome of repeated runs of the same system."""
+
+    runs: int
+    successes: int
+    convergence_steps: List[int] = field(default_factory=list)
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of runs that satisfied the success criterion."""
+        if self.runs == 0:
+            return 0.0
+        return self.successes / self.runs
+
+    @property
+    def all_succeeded(self) -> bool:
+        return self.runs > 0 and self.successes == self.runs
+
+    @property
+    def mean_convergence_steps(self) -> Optional[float]:
+        """Mean number of interactions to convergence over successful runs."""
+        if not self.convergence_steps:
+            return None
+        return statistics.fmean(self.convergence_steps)
+
+    @property
+    def median_convergence_steps(self) -> Optional[float]:
+        if not self.convergence_steps:
+            return None
+        return statistics.median(self.convergence_steps)
+
+    @property
+    def max_convergence_steps(self) -> Optional[int]:
+        if not self.convergence_steps:
+            return None
+        return max(self.convergence_steps)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        mean = self.mean_convergence_steps
+        mean_text = f"{mean:.0f}" if mean is not None else "-"
+        return (
+            f"runs={self.runs} success={self.successes}/{self.runs} "
+            f"mean-steps={mean_text}"
+        )
+
+
+def repeat_experiment(
+    program: Any,
+    model: InteractionModel,
+    initial_configuration: Configuration,
+    predicate: Callable[[Configuration], bool],
+    runs: int = 10,
+    max_steps: int = 100_000,
+    stability_window: int = 0,
+    base_seed: int = 0,
+    adversary_factory: Optional[Callable[[int], Any]] = None,
+    validate: Optional[Callable[[ConvergenceResult], Optional[str]]] = None,
+) -> ExperimentResult:
+    """Run the same system ``runs`` times with different scheduler seeds.
+
+    Parameters
+    ----------
+    predicate:
+        Convergence predicate on configurations; a run "succeeds" when the
+        predicate stabilises within ``max_steps`` interactions.
+    adversary_factory:
+        Optional callable mapping the run index to a fresh adversary
+        instance (adversaries are stateful, so each run needs its own).
+    validate:
+        Optional extra per-run validation executed on the
+        :class:`ConvergenceResult`; it returns ``None`` when the run is
+        acceptable, or an error string which marks the run as failed (used
+        e.g. to verify the simulation matching on top of convergence).
+    """
+    result = ExperimentResult(runs=0, successes=0)
+    n = len(initial_configuration)
+    for run_index in range(runs):
+        scheduler = RandomScheduler(n, seed=base_seed + run_index)
+        adversary = adversary_factory(run_index) if adversary_factory else None
+        engine = SimulationEngine(program, model, scheduler, adversary=adversary)
+        outcome = run_until_stable(
+            engine,
+            initial_configuration,
+            predicate,
+            max_steps=max_steps,
+            stability_window=stability_window,
+        )
+        result.runs += 1
+        failure: Optional[str] = None
+        if not outcome.converged:
+            failure = f"run {run_index}: did not converge within {max_steps} steps"
+        elif validate is not None:
+            error = validate(outcome)
+            if error is not None:
+                failure = f"run {run_index}: {error}"
+        if failure is None:
+            result.successes += 1
+            if outcome.steps_to_convergence is not None:
+                result.convergence_steps.append(outcome.steps_to_convergence)
+        else:
+            result.failures.append(failure)
+    return result

@@ -1,0 +1,71 @@
+"""Interaction models of Figure 1.
+
+The paper identifies ten computationally distinct interaction models:
+
+* ``TW`` — the standard two-way model (no omissions);
+* ``T1``, ``T2``, ``T3`` — two-way models with omissions and increasing
+  detection capabilities;
+* ``IT``, ``IO`` — the non-omissive one-way models (Immediate Transmission
+  and Immediate Observation);
+* ``I1``, ``I2``, ``I3``, ``I4`` — one-way models with omissions and
+  different detection capabilities.
+
+Each model is an executable object that owns its transition relation: given
+a program (a two-way protocol or a one-way protocol / simulator) and an
+omission specification, it computes the post-interaction states of the
+starter and the reactor.  The hierarchy of Figure 1 is exposed as a
+``networkx`` digraph in :mod:`repro.interaction.hierarchy`.
+"""
+
+from repro.interaction.omissions import Omission, NO_OMISSION
+from repro.interaction.models import (
+    InteractionModel,
+    TwoWayModel,
+    OneWayModel,
+    TW,
+    T1,
+    T2,
+    T3,
+    IT,
+    IO,
+    I1,
+    I2,
+    I3,
+    I4,
+    ALL_MODELS,
+    MODELS_BY_NAME,
+    get_model,
+    ModelError,
+)
+from repro.interaction.hierarchy import (
+    hierarchy_graph,
+    is_at_most_as_powerful,
+    weaker_models,
+    stronger_models,
+)
+
+__all__ = [
+    "Omission",
+    "NO_OMISSION",
+    "InteractionModel",
+    "TwoWayModel",
+    "OneWayModel",
+    "TW",
+    "T1",
+    "T2",
+    "T3",
+    "IT",
+    "IO",
+    "I1",
+    "I2",
+    "I3",
+    "I4",
+    "ALL_MODELS",
+    "MODELS_BY_NAME",
+    "get_model",
+    "ModelError",
+    "hierarchy_graph",
+    "is_at_most_as_powerful",
+    "weaker_models",
+    "stronger_models",
+]

@@ -1,0 +1,115 @@
+"""Adapters between one-way and two-way program interfaces.
+
+Two adapters are provided:
+
+* :func:`one_way_as_two_way` — wrap a one-way program (``g``, ``f``) as a
+  two-way program (``fs``, ``fr``).  This realises the "special case" edges
+  of Figure 1 (an ``IT``/``IO`` protocol *is* a ``TW`` protocol whose
+  ``fs`` ignores the reactor's state) and lets the impossibility
+  constructions of Section 3, which are phrased for the two-way omissive
+  model ``T3``, be applied verbatim to the one-way simulators of Section 4.
+
+* :func:`two_way_as_one_way_naive` — the *incorrect* naive embedding of a
+  two-way protocol into the one-way interface (the starter's update is
+  dropped).  It exists only as a foil: benchmarks and tests use it to show
+  that running a two-way protocol directly on a one-way model without a
+  simulator loses correctness, which is the gap the paper's simulators
+  close.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.protocols.protocol import OneWayProtocol, PopulationProtocol
+from repro.protocols.state import State
+
+
+class OneWayAsTwoWay:
+    """Present a one-way program through the two-way program interface.
+
+    ``fs(as, ar) = g(as)`` and ``fr(as, ar) = f(as, ar)``; the omission
+    handlers are forwarded unchanged.  Running the wrapped program under
+    ``TW`` (or an omissive two-way model) therefore reproduces exactly the
+    behaviour it would have under ``IT`` (or the corresponding one-way
+    omissive model), which is the precise sense in which one-way protocols
+    are special cases of two-way protocols.
+    """
+
+    def __init__(self, program: Any):
+        if not hasattr(program, "f"):
+            raise TypeError(
+                "one_way_as_two_way expects a one-way program exposing f (and g); "
+                f"got {type(program).__name__}"
+            )
+        self._program = program
+        self.name = f"two-way({getattr(program, 'name', type(program).__name__)})"
+
+    @property
+    def wrapped(self) -> Any:
+        """The underlying one-way program."""
+        return self._program
+
+    def fs(self, starter: State, reactor: State) -> State:
+        g = getattr(self._program, "g", None)
+        if g is None:
+            return starter
+        return g(starter)
+
+    def fr(self, starter: State, reactor: State) -> State:
+        return self._program.f(starter, reactor)
+
+    def on_starter_omission(self, starter: State) -> State:
+        handler = getattr(self._program, "on_starter_omission", None)
+        if handler is None:
+            return starter
+        return handler(starter)
+
+    def on_reactor_omission(self, reactor: State) -> State:
+        handler = getattr(self._program, "on_reactor_omission", None)
+        if handler is None:
+            return reactor
+        return handler(reactor)
+
+    def __getattr__(self, item):
+        # Projection, event extraction, initial-state construction etc. are
+        # delegated to the wrapped program so simulators stay fully usable
+        # through the adapter.
+        return getattr(self._program, item)
+
+    def __repr__(self) -> str:
+        return f"<OneWayAsTwoWay {self._program!r}>"
+
+
+def one_way_as_two_way(program: Any) -> OneWayAsTwoWay:
+    """Wrap a one-way program so it can run under the two-way models."""
+    return OneWayAsTwoWay(program)
+
+
+class NaiveOneWayProjection(OneWayProtocol):
+    """The naive (incorrect) one-way projection of a two-way protocol.
+
+    Only the reactor's half of ``delta_P`` is applied; the starter's half is
+    silently dropped.  This is *not* a simulation — it is the baseline
+    showing why simulators are needed at all.
+    """
+
+    def __init__(self, protocol: PopulationProtocol):
+        super().__init__(
+            states=protocol.states,
+            initial_states=protocol.initial_states,
+            name=f"naive-one-way({protocol.name})",
+        )
+        self._protocol = protocol
+
+    @property
+    def protocol(self) -> PopulationProtocol:
+        return self._protocol
+
+    def f(self, starter: State, reactor: State) -> State:
+        return self._protocol.delta(starter, reactor)[1]
+
+
+def two_way_as_one_way_naive(protocol: PopulationProtocol) -> NaiveOneWayProjection:
+    """Build the naive (incorrect) one-way projection of a two-way protocol."""
+    return NaiveOneWayProjection(protocol)

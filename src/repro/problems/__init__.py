@@ -1,0 +1,30 @@
+"""Problem specifications with machine-checkable correctness conditions.
+
+A *problem* specifies what a protocol is supposed to achieve, independently
+of how it is computed: safety conditions (invariants over every reachable
+configuration), liveness conditions (what the population must eventually
+stabilise to), and — for the Pairing problem of Definition 5 —
+irrevocability (certain states, once entered, are never left).
+
+Problem checkers operate on *simulated* configurations, i.e. on projected
+traces, so the same checker validates a protocol run directly on ``TW`` and
+the same protocol run through any simulator on a weak model.  The Pairing
+problem is the centrepiece: it is the counterexample used by every
+impossibility result in Section 3, and its safety bound is what the Lemma 1
+attack violates.
+"""
+
+from repro.problems.base import Problem, ProblemReport
+from repro.problems.pairing import PairingProblem
+from repro.problems.leader_election import LeaderElectionProblem
+from repro.problems.majority import MajorityProblem
+from repro.problems.threshold import ThresholdProblem
+
+__all__ = [
+    "Problem",
+    "ProblemReport",
+    "PairingProblem",
+    "LeaderElectionProblem",
+    "MajorityProblem",
+    "ThresholdProblem",
+]

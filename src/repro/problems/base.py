@@ -1,0 +1,108 @@
+"""Base classes for problem specifications."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional
+
+from repro.protocols.state import Configuration, State
+
+
+@dataclass
+class ProblemReport:
+    """Result of checking a problem specification against an execution.
+
+    ``safety_violations`` and ``irrevocability_violations`` list
+    human-readable descriptions of every violated invariant (empty lists mean
+    the execution prefix is clean); ``live`` says whether the final
+    configuration satisfies the liveness target (which a too-short prefix may
+    legitimately fail to reach — callers decide how to treat that).
+    """
+
+    problem_name: str
+    configurations_checked: int
+    safety_violations: List[str] = field(default_factory=list)
+    irrevocability_violations: List[str] = field(default_factory=list)
+    live: bool = False
+
+    @property
+    def safe(self) -> bool:
+        """No safety or irrevocability violation was observed."""
+        return not self.safety_violations and not self.irrevocability_violations
+
+    @property
+    def ok(self) -> bool:
+        """Safe and live."""
+        return self.safe and self.live
+
+    def summary(self) -> str:
+        return (
+            f"{self.problem_name}: configs={self.configurations_checked} "
+            f"safety-violations={len(self.safety_violations)} "
+            f"irrevocability-violations={len(self.irrevocability_violations)} "
+            f"live={self.live}"
+        )
+
+
+class Problem:
+    """A problem specification over (projected) configurations.
+
+    Concrete problems override :meth:`check_configuration_safety`,
+    :meth:`is_live` and, when relevant, :meth:`irrevocable_states`.
+    """
+
+    name: str = "problem"
+
+    # -- per-configuration safety -----------------------------------------------------------------
+
+    def check_configuration_safety(self, configuration: Configuration) -> List[str]:
+        """Return a list of safety violations present in one configuration."""
+        return []
+
+    # -- liveness ------------------------------------------------------------------------------------
+
+    def is_live(self, configuration: Configuration) -> bool:
+        """Whether a configuration satisfies the problem's stabilisation target."""
+        raise NotImplementedError
+
+    # -- irrevocability ----------------------------------------------------------------------------------
+
+    def irrevocable_states(self) -> frozenset:
+        """States that, once entered by an agent, must never be left."""
+        return frozenset()
+
+    # -- trace-level checking ---------------------------------------------------------------------------
+
+    def check(self, configurations: Iterable[Configuration]) -> ProblemReport:
+        """Check safety and irrevocability over a configuration sequence.
+
+        The sequence is typically ``trace.projected_configurations(sim.project)``
+        for a simulator trace, or ``trace.configurations()`` for a plain
+        two-way execution.  Liveness is evaluated on the last configuration.
+        """
+        irrevocable = self.irrevocable_states()
+        report = ProblemReport(problem_name=self.name, configurations_checked=0)
+        previous: Optional[Configuration] = None
+        last: Optional[Configuration] = None
+
+        for configuration in configurations:
+            report.configurations_checked += 1
+            report.safety_violations.extend(
+                f"config {report.configurations_checked - 1}: {violation}"
+                for violation in self.check_configuration_safety(configuration)
+            )
+            if previous is not None and irrevocable:
+                for agent, (before, after) in enumerate(
+                    zip(previous.states, configuration.states)
+                ):
+                    if before in irrevocable and after != before:
+                        report.irrevocability_violations.append(
+                            f"config {report.configurations_checked - 1}: agent {agent} "
+                            f"left irrevocable state {before!r} for {after!r}"
+                        )
+            previous = configuration
+            last = configuration
+
+        if last is not None:
+            report.live = self.is_live(last)
+        return report

@@ -1,0 +1,41 @@
+"""Leader election as a problem specification."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.problems.base import Problem
+from repro.protocols.catalog.leader_election import FOLLOWER, LEADER
+from repro.protocols.state import Configuration
+
+
+class LeaderElectionProblem(Problem):
+    """Eventually exactly one leader; the leader count never increases.
+
+    The non-increase of the leader count is a safety property of the
+    *protocol* (a follower can never become a leader again), checked here as
+    an invariant: no configuration may contain more leaders than the initial
+    population of candidates.
+    """
+
+    name = "leader-election"
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError("population must contain at least one agent")
+        self.n = n
+
+    def check_configuration_safety(self, configuration: Configuration) -> List[str]:
+        violations = []
+        leaders = configuration.count(LEADER)
+        if leaders > self.n:
+            violations.append(f"{leaders} leaders but the population has {self.n} agents")
+        if leaders == 0:
+            violations.append("no leader remains (leader count can never reach zero)")
+        return violations
+
+    def is_live(self, configuration: Configuration) -> bool:
+        return configuration.count(LEADER) == 1
+
+    def initial_configuration(self) -> Configuration:
+        return Configuration([LEADER] * self.n)

@@ -1,0 +1,43 @@
+"""Exact majority as a problem specification."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.problems.base import Problem
+from repro.protocols.catalog.majority import ExactMajorityProtocol
+from repro.protocols.state import Configuration
+
+
+class MajorityProblem(Problem):
+    """Eventually every agent outputs the initial strict majority opinion."""
+
+    name = "exact-majority"
+
+    def __init__(self, count_a: int, count_b: int, protocol: Optional[ExactMajorityProtocol] = None):
+        if count_a < 0 or count_b < 0:
+            raise ValueError("opinion counts must be non-negative")
+        if count_a == count_b:
+            raise ValueError(
+                "the exact-majority problem is specified for strict majorities; "
+                "ties have no required output"
+            )
+        self.count_a = count_a
+        self.count_b = count_b
+        self.protocol = protocol or ExactMajorityProtocol()
+        self.expected = self.protocol.majority_opinion(count_a, count_b)
+
+    def check_configuration_safety(self, configuration: Configuration) -> List[str]:
+        violations = []
+        if len(configuration) != self.count_a + self.count_b:
+            violations.append(
+                f"population size changed: expected {self.count_a + self.count_b}, "
+                f"found {len(configuration)}"
+            )
+        return violations
+
+    def is_live(self, configuration: Configuration) -> bool:
+        return all(self.protocol.output(state) == self.expected for state in configuration)
+
+    def initial_configuration(self) -> Configuration:
+        return self.protocol.initial_configuration(self.count_a, self.count_b)

@@ -1,0 +1,82 @@
+"""The Pairing Problem (Definition 5).
+
+The population is split into consumers (state ``c``) and producers (state
+``p``); the protocol must eventually move exactly ``min(|Ac|, |Ap|)``
+consumers into the irrevocable critical state ``cs``, and must never have
+more than ``|Ap|`` agents in ``cs`` at any time.
+
+The problem is solvable by a trivial two-way protocol
+(:class:`repro.protocols.PairingProtocol`) but — this is the content of
+Section 3 — no simulator can preserve its safety in the presence of
+omissions, which is why every impossibility benchmark in this repository
+checks executions against this specification.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.problems.base import Problem
+from repro.protocols.catalog.pairing import BOTTOM, CONSUMER, CRITICAL, PRODUCER
+from repro.protocols.state import Configuration
+
+
+class PairingProblem(Problem):
+    """Safety / liveness / irrevocability checker for the Pairing problem."""
+
+    name = "pairing"
+
+    def __init__(self, consumers: int, producers: int):
+        if consumers < 0 or producers < 0:
+            raise ValueError("population counts must be non-negative")
+        self.consumers = consumers
+        self.producers = producers
+
+    # -- Definition 5, Safety: |cs| <= |Ap| at all times --------------------------------------------
+
+    def check_configuration_safety(self, configuration: Configuration) -> List[str]:
+        violations = []
+        critical = configuration.count(CRITICAL)
+        if critical > self.producers:
+            violations.append(
+                f"{critical} agents in critical state {CRITICAL!r} but only "
+                f"{self.producers} producers exist"
+            )
+        # Only consumers may ever become critical; the number of agents that are
+        # (or have been) on the consumer side is exactly ``self.consumers``.
+        consumer_side = configuration.count(CONSUMER) + critical
+        if consumer_side > self.consumers:
+            violations.append(
+                f"{consumer_side} agents on the consumer side but only "
+                f"{self.consumers} consumers exist"
+            )
+        return violations
+
+    # -- Definition 5, Irrevocability -------------------------------------------------------------------
+
+    def irrevocable_states(self) -> frozenset:
+        return frozenset({CRITICAL})
+
+    # -- Definition 5, Liveness: eventually |cs| = min(|Ac|, |Ap|), stably ---------------------------------
+
+    @property
+    def expected_critical(self) -> int:
+        """The stable number of critical agents required by liveness."""
+        return min(self.consumers, self.producers)
+
+    def is_live(self, configuration: Configuration) -> bool:
+        return configuration.count(CRITICAL) == self.expected_critical
+
+    # -- helpers -----------------------------------------------------------------------------------------------
+
+    def initial_configuration(self) -> Configuration:
+        """The canonical initial configuration (consumers first, then producers)."""
+        return Configuration([CONSUMER] * self.consumers + [PRODUCER] * self.producers)
+
+    @staticmethod
+    def critical_count(configuration: Configuration) -> int:
+        return configuration.count(CRITICAL)
+
+    @staticmethod
+    def spent_producers(configuration: Configuration) -> int:
+        return configuration.count(BOTTOM)

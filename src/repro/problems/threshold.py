@@ -1,0 +1,54 @@
+"""Threshold counting ("flock of birds") as a problem specification."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.problems.base import Problem
+from repro.protocols.catalog.counting import ThresholdProtocol
+from repro.protocols.state import Configuration
+
+
+class ThresholdProblem(Problem):
+    """Eventually every agent outputs whether at least ``threshold`` inputs were 1."""
+
+    name = "threshold"
+
+    def __init__(
+        self,
+        ones: int,
+        zeros: int,
+        threshold: int = 3,
+        protocol: Optional[ThresholdProtocol] = None,
+    ):
+        if ones < 0 or zeros < 0:
+            raise ValueError("input counts must be non-negative")
+        self.ones = ones
+        self.zeros = zeros
+        self.protocol = protocol or ThresholdProtocol(threshold=threshold)
+        self.expected = self.protocol.expected_output(ones)
+
+    def check_configuration_safety(self, configuration: Configuration) -> List[str]:
+        violations: List[str] = []
+        # The total weight held by the population can never exceed the number
+        # of 1-inputs (weight is conserved up to saturation at the threshold).
+        total_weight = sum(weight for weight, _ in configuration.states)
+        if total_weight > self.ones:
+            violations.append(
+                f"total weight {total_weight} exceeds the number of 1-inputs {self.ones}"
+            )
+        if not self.expected:
+            # When the threshold is unreachable, no agent may ever claim it was reached.
+            claimed = configuration.count_if(lambda state: self.protocol.output(state))
+            if claimed > 0:
+                violations.append(
+                    f"{claimed} agents claim the threshold was reached, but only "
+                    f"{self.ones} < {self.protocol.threshold} inputs are 1"
+                )
+        return violations
+
+    def is_live(self, configuration: Configuration) -> bool:
+        return all(self.protocol.output(state) == self.expected for state in configuration)
+
+    def initial_configuration(self) -> Configuration:
+        return self.protocol.initial_configuration(self.ones, self.zeros)

@@ -1,0 +1,68 @@
+"""Catalog of concrete two-way population protocols.
+
+These protocols serve three purposes in the reproduction:
+
+1. They are the *workloads* that the simulators of ``repro.core`` are asked
+   to simulate on weak interaction models (Theorems 4.1, 4.5, 4.6).
+2. The Pairing protocol is the counterexample used by every impossibility
+   proof in Section 3 (Definition 5, Theorems 3.1-3.3).
+3. They exercise the plain two-way engine, providing the baseline against
+   which simulation overhead is measured.
+"""
+
+from repro.protocols.catalog.pairing import PairingProtocol
+from repro.protocols.catalog.leader_election import LeaderElectionProtocol
+from repro.protocols.catalog.majority import (
+    ApproximateMajorityProtocol,
+    ExactMajorityProtocol,
+)
+from repro.protocols.catalog.counting import ThresholdProtocol, ModuloCountingProtocol
+from repro.protocols.catalog.predicates import OrProtocol, AndProtocol, ParityProtocol
+from repro.protocols.catalog.averaging import AveragingProtocol
+from repro.protocols.catalog.epidemic import EpidemicProtocol
+
+#: Registry of catalog protocols by name (factories with default parameters).
+CATALOG = {
+    "pairing": PairingProtocol,
+    "leader-election": LeaderElectionProtocol,
+    "approximate-majority": ApproximateMajorityProtocol,
+    "exact-majority": ExactMajorityProtocol,
+    "threshold": ThresholdProtocol,
+    "modulo-counting": ModuloCountingProtocol,
+    "or": OrProtocol,
+    "and": AndProtocol,
+    "parity": ParityProtocol,
+    "averaging": AveragingProtocol,
+    "epidemic": EpidemicProtocol,
+}
+
+
+def get_protocol(name, **kwargs):
+    """Instantiate a catalog protocol by name.
+
+    Parameters are forwarded to the protocol constructor, e.g.
+    ``get_protocol("threshold", threshold=5)``.
+    """
+    try:
+        factory = CATALOG[name]
+    except KeyError:
+        known = ", ".join(sorted(CATALOG))
+        raise KeyError(f"unknown protocol {name!r}; known protocols: {known}") from None
+    return factory(**kwargs)
+
+
+__all__ = [
+    "PairingProtocol",
+    "LeaderElectionProtocol",
+    "ApproximateMajorityProtocol",
+    "ExactMajorityProtocol",
+    "ThresholdProtocol",
+    "ModuloCountingProtocol",
+    "OrProtocol",
+    "AndProtocol",
+    "ParityProtocol",
+    "AveragingProtocol",
+    "EpidemicProtocol",
+    "CATALOG",
+    "get_protocol",
+]

@@ -1,0 +1,54 @@
+"""Integer averaging / load-balancing protocol.
+
+Agents hold bounded integer values; when two agents interact they rebalance
+their values as evenly as possible (the starter keeps the ceiling, the
+reactor the floor).  The population's total value is invariant, so the
+protocol converges to a configuration where all values differ by at most 1.
+
+This protocol exercises simulators on a workload with a *conserved quantity*
+— a particularly sensitive correctness check, because any simulator bug that
+duplicates or drops a simulated interaction changes the total and is
+immediately detectable.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.protocols.protocol import PopulationProtocol, ProtocolError
+from repro.protocols.state import Configuration, State
+
+
+class AveragingProtocol(PopulationProtocol):
+    """Pairwise averaging of integer values in ``[0, max_value]``."""
+
+    def __init__(self, max_value: int = 8) -> None:
+        if max_value < 1:
+            raise ProtocolError("max_value must be at least 1")
+        self.max_value = max_value
+        states = list(range(max_value + 1))
+        super().__init__(states=states, initial_states=states, name=f"averaging-{max_value}")
+
+    def delta(self, starter: State, reactor: State) -> Tuple[State, State]:
+        total = starter + reactor
+        high = (total + 1) // 2
+        low = total // 2
+        return high, low
+
+    def output(self, state: State):
+        return state
+
+    @staticmethod
+    def total(configuration: Configuration) -> int:
+        """The conserved total value of the population."""
+        return sum(configuration.states)
+
+    @staticmethod
+    def is_balanced(configuration: Configuration) -> bool:
+        """Whether all values differ by at most one (the stable outcome)."""
+        values = configuration.states
+        return max(values) - min(values) <= 1
+
+    @staticmethod
+    def initial_configuration(values) -> Configuration:
+        return Configuration(values)

@@ -1,0 +1,167 @@
+"""Configurations of population-protocol systems.
+
+A configuration ``C`` of a system ``(P, n)`` is the n-tuple of the local
+states of the agents (Section 2.1).  Agents are anonymous, so most of the
+semantics of a protocol only depends on the *multiset* of states; the
+:class:`Configuration` class therefore exposes both the indexed view (needed
+to apply interactions, which are ordered pairs of agent indices) and the
+multiset view (needed for closed-set / fairness reasoning and for comparing
+configurations up to agent permutation).
+
+Configurations are immutable and hashable so that they can be used as keys
+in reachability searches (e.g. the FTT breadth-first search of
+``repro.adversary.ftt``) and deduplicated inside execution traces.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Callable, Dict, Hashable, Iterable, Iterator, Tuple
+
+State = Hashable
+
+
+def state_multiset(states: Iterable[State]) -> Counter:
+    """Return the multiset (as a :class:`collections.Counter`) of ``states``."""
+    return Counter(states)
+
+
+class Configuration:
+    """An immutable n-tuple of agent states.
+
+    Parameters
+    ----------
+    states:
+        The local state of each agent, indexed by agent identifier
+        ``0 .. n-1``.
+    """
+
+    __slots__ = ("_states", "_hash")
+
+    def __init__(self, states: Iterable[State]):
+        self._states: Tuple[State, ...] = tuple(states)
+        self._hash = None
+
+    # -- basic container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __iter__(self) -> Iterator[State]:
+        return iter(self._states)
+
+    def __getitem__(self, index: int) -> State:
+        return self._states[index]
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, Configuration):
+            return self._states == other._states
+        if isinstance(other, tuple):
+            return self._states == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self._states)
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Configuration({list(self._states)!r})"
+
+    # -- views ---------------------------------------------------------------------
+
+    @property
+    def states(self) -> Tuple[State, ...]:
+        """The underlying tuple of states."""
+        return self._states
+
+    def multiset(self) -> Counter:
+        """The multiset of states (anonymous view of the configuration)."""
+        return Counter(self._states)
+
+    def count(self, state: State) -> int:
+        """Number of agents currently in ``state``."""
+        return sum(1 for s in self._states if s == state)
+
+    def count_if(self, predicate: Callable[[State], bool]) -> int:
+        """Number of agents whose state satisfies ``predicate``."""
+        return sum(1 for s in self._states if predicate(s))
+
+    def indices_of(self, state: State) -> Tuple[int, ...]:
+        """Indices of the agents currently in ``state``."""
+        return tuple(i for i, s in enumerate(self._states) if s == state)
+
+    def histogram(self) -> Dict[State, int]:
+        """A plain ``dict`` mapping each present state to its multiplicity."""
+        return dict(self.multiset())
+
+    # -- functional updates ----------------------------------------------------------
+
+    def replace(self, index: int, new_state: State) -> "Configuration":
+        """Return a new configuration with agent ``index`` set to ``new_state``."""
+        if not 0 <= index < len(self._states):
+            raise IndexError(f"agent index {index} out of range for n={len(self)}")
+        states = list(self._states)
+        states[index] = new_state
+        return Configuration(states)
+
+    def replace_many(self, updates: Dict[int, State]) -> "Configuration":
+        """Return a new configuration applying several indexed updates at once."""
+        states = list(self._states)
+        for index, new_state in updates.items():
+            if not 0 <= index < len(states):
+                raise IndexError(f"agent index {index} out of range for n={len(self)}")
+            states[index] = new_state
+        return Configuration(states)
+
+    def apply_interaction(
+        self, starter: int, reactor: int, new_starter: State, new_reactor: State
+    ) -> "Configuration":
+        """Apply the outcome of an interaction ``(starter, reactor)``."""
+        if starter == reactor:
+            raise ValueError("an agent cannot interact with itself")
+        return self.replace_many({starter: new_starter, reactor: new_reactor})
+
+    def project(self, projection: Callable[[State], State]) -> "Configuration":
+        """Apply ``projection`` to every agent state (e.g. ``pi_P`` of Section 2.4)."""
+        return Configuration(projection(s) for s in self._states)
+
+    def permuted(self, permutation: Iterable[int]) -> "Configuration":
+        """Return the configuration with agent states permuted.
+
+        ``permutation[i]`` is the index in ``self`` whose state becomes the
+        state of agent ``i`` in the result.  Used for reasoning about closed
+        sets of configurations, which are invariant under permutation.
+        """
+        perm = tuple(permutation)
+        if sorted(perm) != list(range(len(self))):
+            raise ValueError("not a permutation of agent indices")
+        return Configuration(self._states[i] for i in perm)
+
+    def same_multiset(self, other: "Configuration") -> bool:
+        """``True`` when the two configurations are equal up to agent permutation."""
+        return self.multiset() == other.multiset()
+
+    # -- constructors ---------------------------------------------------------------
+
+    @classmethod
+    def uniform(cls, state: State, n: int) -> "Configuration":
+        """A configuration of ``n`` agents, all in ``state``."""
+        if n < 0:
+            raise ValueError("population size must be non-negative")
+        return cls([state] * n)
+
+    @classmethod
+    def from_counts(cls, counts: Dict[State, int]) -> "Configuration":
+        """Build a configuration from a ``state -> multiplicity`` mapping.
+
+        Agents are laid out in the iteration order of ``counts``; because
+        agents are anonymous this ordering is semantically irrelevant, but it
+        is deterministic, which keeps experiments reproducible.
+        """
+        states = []
+        for state, count in counts.items():
+            if count < 0:
+                raise ValueError(f"negative multiplicity for state {state!r}")
+            states.extend([state] * count)
+        return cls(states)

@@ -1,0 +1,56 @@
+"""Scheduling substrate: interactions, runs, schedulers and fairness diagnostics.
+
+The PP model abstracts the passive mobility of the agents into an infinite
+sequence of pairwise interactions (a *run*).  This subpackage provides the
+datatypes for interactions and runs, several schedulers that generate them
+(uniform random — globally fair with probability 1 —, scripted, weighted),
+and statistical diagnostics approximating the global-fairness condition on
+the finite prefixes that an experiment actually executes.
+"""
+
+from repro.scheduling.runs import Interaction, Run
+from repro.scheduling.scheduler import (
+    Scheduler,
+    RandomScheduler,
+    ScriptedScheduler,
+    WeightedPairScheduler,
+    RoundRobinScheduler,
+    SchedulerExhausted,
+)
+from repro.scheduling.graph_scheduler import (
+    GraphScheduler,
+    InteractionGraphError,
+    complete_graph_scheduler,
+    ring_scheduler,
+    star_scheduler,
+    random_graph_scheduler,
+    validate_interaction_graph,
+)
+from repro.scheduling.fairness import (
+    CoverageReport,
+    pair_coverage,
+    interaction_counts,
+    fairness_report,
+)
+
+__all__ = [
+    "Interaction",
+    "Run",
+    "Scheduler",
+    "RandomScheduler",
+    "ScriptedScheduler",
+    "WeightedPairScheduler",
+    "RoundRobinScheduler",
+    "SchedulerExhausted",
+    "GraphScheduler",
+    "InteractionGraphError",
+    "complete_graph_scheduler",
+    "ring_scheduler",
+    "star_scheduler",
+    "random_graph_scheduler",
+    "validate_interaction_graph",
+    "CoverageReport",
+    "pair_coverage",
+    "interaction_counts",
+    "fairness_report",
+]

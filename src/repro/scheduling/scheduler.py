@@ -1,0 +1,165 @@
+"""Schedulers: generators of interaction sequences.
+
+The PP model leaves the interaction sequence to an external entity subject
+only to the global-fairness condition.  The workhorse here is the uniform
+random scheduler, which selects each ordered pair of distinct agents with
+equal probability at every step; its infinite runs are globally fair with
+probability 1, which is the standard way fair runs are realised in practice
+(cf. reference [13] of the paper on probabilistic schedulers).
+
+A scripted scheduler replays a fixed :class:`~repro.scheduling.runs.Run`
+(used for the Lemma 1 / Theorem 3.2 attack constructions and for the FTT
+search), a weighted scheduler biases pair selection (useful to stress
+fairness-sensitive behaviour), and a round-robin scheduler provides a
+deterministic fair-ish baseline.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.scheduling.runs import Interaction, Run
+
+
+class SchedulerExhausted(Exception):
+    """Raised by finite schedulers (e.g. scripted) when no interactions remain."""
+
+
+class Scheduler:
+    """Base class: produces the next ordered pair of distinct agent indices."""
+
+    def next_interaction(self, step: int) -> Interaction:
+        """Return the interaction to execute at ``step`` (0-based)."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Reset any internal state so the scheduler can be reused from step 0."""
+
+    def __iter__(self):
+        step = 0
+        while True:
+            try:
+                yield self.next_interaction(step)
+            except SchedulerExhausted:
+                return
+            step += 1
+
+
+class RandomScheduler(Scheduler):
+    """Uniform random scheduler over ordered pairs of distinct agents.
+
+    Globally fair with probability 1 over infinite runs: every finite
+    interaction pattern enabled infinitely often occurs infinitely often
+    almost surely.
+    """
+
+    def __init__(self, n: int, seed: Optional[int] = None):
+        if n < 2:
+            raise ValueError("a population needs at least two agents to interact")
+        self.n = n
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def next_interaction(self, step: int) -> Interaction:
+        starter = self._rng.randrange(self.n)
+        reactor = self._rng.randrange(self.n - 1)
+        if reactor >= starter:
+            reactor += 1
+        return Interaction(starter, reactor)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+
+
+class ScriptedScheduler(Scheduler):
+    """Replays a fixed run, then raises :class:`SchedulerExhausted`.
+
+    Optionally falls back to another scheduler once the script is exhausted
+    (used to extend a scripted attack prefix into a fair continuation, as
+    Definition 4 requires of simulator executions).
+    """
+
+    def __init__(self, run: Run, continuation: Optional[Scheduler] = None):
+        self.run = run
+        self.continuation = continuation
+
+    def next_interaction(self, step: int) -> Interaction:
+        if step < len(self.run):
+            return self.run[step]
+        if self.continuation is not None:
+            return self.continuation.next_interaction(step - len(self.run))
+        raise SchedulerExhausted(
+            f"scripted run of length {len(self.run)} exhausted at step {step}"
+        )
+
+    def reset(self) -> None:
+        if self.continuation is not None:
+            self.continuation.reset()
+
+
+class WeightedPairScheduler(Scheduler):
+    """Random scheduler with per-ordered-pair weights.
+
+    Pairs with zero weight never occur; all pairs present in ``weights``
+    must involve distinct agents.  This scheduler is *not* fair in general
+    and is used to stress protocols and simulators under skewed interaction
+    patterns.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        weights: Dict[Tuple[int, int], float],
+        seed: Optional[int] = None,
+    ):
+        if n < 2:
+            raise ValueError("a population needs at least two agents to interact")
+        self.n = n
+        cleaned = {}
+        for (starter, reactor), weight in weights.items():
+            if starter == reactor:
+                raise ValueError("weights must be over pairs of distinct agents")
+            if not (0 <= starter < n and 0 <= reactor < n):
+                raise ValueError("pair indices out of range")
+            if weight < 0:
+                raise ValueError("weights must be non-negative")
+            if weight > 0:
+                cleaned[(starter, reactor)] = float(weight)
+        if not cleaned:
+            raise ValueError("at least one pair must have positive weight")
+        self._pairs = list(cleaned.keys())
+        self._weights = [cleaned[p] for p in self._pairs]
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def next_interaction(self, step: int) -> Interaction:
+        starter, reactor = self._rng.choices(self._pairs, weights=self._weights, k=1)[0]
+        return Interaction(starter, reactor)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+
+
+class RoundRobinScheduler(Scheduler):
+    """Deterministic scheduler cycling through all ordered pairs in lexicographic order.
+
+    Every ordered pair occurs once every ``n*(n-1)`` steps, so every finite
+    execution prefix of length at least ``n*(n-1)`` covers all pairs; this is
+    a convenient deterministic stand-in for fairness in unit tests.
+    """
+
+    def __init__(self, n: int):
+        if n < 2:
+            raise ValueError("a population needs at least two agents to interact")
+        self.n = n
+        self._pairs = [
+            (starter, reactor)
+            for starter in range(n)
+            for reactor in range(n)
+            if starter != reactor
+        ]
+
+    def next_interaction(self, step: int) -> Interaction:
+        starter, reactor = self._pairs[step % len(self._pairs)]
+        return Interaction(starter, reactor)

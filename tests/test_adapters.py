@@ -1,0 +1,95 @@
+"""Unit tests for the one-way <-> two-way program adapters."""
+
+import pytest
+
+from repro.core.skno import SKnOSimulator
+from repro.interaction.adapters import (
+    NaiveOneWayProjection,
+    OneWayAsTwoWay,
+    one_way_as_two_way,
+    two_way_as_one_way_naive,
+)
+from repro.interaction.models import IO, IT, T3, TW
+from repro.interaction.omissions import FULL_OMISSION, NO_OMISSION
+from repro.protocols.catalog.epidemic import INFORMED, SUSCEPTIBLE, OneWayEpidemicProtocol
+from repro.protocols.catalog.pairing import PairingProtocol
+
+
+class TestOneWayAsTwoWay:
+    def test_requires_one_way_program(self):
+        with pytest.raises(TypeError):
+            one_way_as_two_way(object())
+
+    def test_fs_is_g_and_fr_is_f(self):
+        adapter = one_way_as_two_way(OneWayEpidemicProtocol())
+        assert adapter.fs(INFORMED, SUSCEPTIBLE) == INFORMED
+        assert adapter.fr(INFORMED, SUSCEPTIBLE) == INFORMED
+        assert adapter.fr(SUSCEPTIBLE, INFORMED) == INFORMED
+
+    def test_tw_execution_matches_it_execution(self):
+        """Running the adapted program under TW equals running the original under IT."""
+        protocol = OneWayEpidemicProtocol()
+        adapter = one_way_as_two_way(protocol)
+        for starter in (INFORMED, SUSCEPTIBLE):
+            for reactor in (INFORMED, SUSCEPTIBLE):
+                assert TW.apply(adapter, starter, reactor, NO_OMISSION) == IT.apply(
+                    protocol, starter, reactor, NO_OMISSION
+                )
+
+    def test_omission_handlers_are_forwarded(self):
+        simulator = SKnOSimulator(PairingProtocol(), omission_bound=1)
+        adapter = one_way_as_two_way(simulator)
+        state = simulator.initial_state("p")
+        assert adapter.on_reactor_omission(state) == simulator.on_reactor_omission(state)
+        assert adapter.on_starter_omission(state) == simulator.on_starter_omission(state)
+
+    def test_delegation_of_simulator_interface(self):
+        simulator = SKnOSimulator(PairingProtocol(), omission_bound=0)
+        adapter = one_way_as_two_way(simulator)
+        state = adapter.initial_state("c")
+        assert adapter.project(state) == "c"
+        assert adapter.protocol is simulator.protocol
+
+    def test_t3_full_omission_uses_wrapped_handlers(self):
+        simulator = SKnOSimulator(PairingProtocol(), omission_bound=1)
+        adapter = one_way_as_two_way(simulator)
+        starter = simulator.initial_state("p")
+        reactor = simulator.initial_state("c")
+        adapted = T3.apply(adapter, starter, reactor, FULL_OMISSION)
+        # Starter side: SKnO's I3 variant ignores starter-side omissions.
+        assert adapted[0] == starter
+        # Reactor side: a joker is enqueued.
+        assert adapted[1].joker_count() == 1
+
+    def test_wrapped_property_and_repr(self):
+        protocol = OneWayEpidemicProtocol()
+        adapter = one_way_as_two_way(protocol)
+        assert adapter.wrapped is protocol
+        assert "OneWayAsTwoWay" in repr(adapter)
+        assert isinstance(adapter, OneWayAsTwoWay)
+
+
+class TestNaiveProjection:
+    def test_only_reactor_half_is_applied(self):
+        pairing = PairingProtocol()
+        naive = two_way_as_one_way_naive(pairing)
+        assert isinstance(naive, NaiveOneWayProjection)
+        # The reactor becomes critical, but the producer is NOT consumed —
+        # exactly the unsoundness that makes this projection not a simulation.
+        assert naive.f("p", "c") == "cs"
+        assert IO.apply(naive, "p", "c", NO_OMISSION) == ("p", "cs")
+
+    def test_states_are_inherited(self):
+        pairing = PairingProtocol()
+        naive = two_way_as_one_way_naive(pairing)
+        assert naive.states == pairing.states
+        assert naive.protocol is pairing
+
+    def test_naive_projection_violates_pairing_safety(self):
+        """Two consumers can both become critical off a single producer."""
+        pairing = PairingProtocol()
+        naive = two_way_as_one_way_naive(pairing)
+        # Producer observed by consumer 1, then by consumer 2: both turn critical.
+        first = naive.f("p", "c")
+        second = naive.f("p", "c")
+        assert first == second == "cs"

@@ -1,0 +1,121 @@
+"""Unit tests for the analysis helpers: results map, reporting and statistics."""
+
+import pytest
+
+from repro.analysis.reporting import format_results_map, format_table
+from repro.analysis.results_map import (
+    ASSUMPTIONS,
+    Feasibility,
+    RESULTS_MAP,
+    feasibility,
+    models_in_map,
+    results_map,
+)
+from repro.analysis.statistics import (
+    correlation_with_log,
+    growth_ratio,
+    is_monotone_nondecreasing,
+    summarize_counts,
+)
+
+
+class TestResultsMap:
+    def test_full_coverage_of_models_and_assumptions(self):
+        cells = results_map()
+        assert len(cells) == len(models_in_map()) * len(ASSUMPTIONS)
+        for model in models_in_map():
+            for assumption in ASSUMPTIONS:
+                assert (model, assumption) in cells
+
+    def test_headline_results(self):
+        # Theorem 4.1 and Corollary 1.
+        assert feasibility("I3", "knowledge-of-omissions") is Feasibility.POSSIBLE
+        assert feasibility("I4", "knowledge-of-omissions") is Feasibility.POSSIBLE
+        assert feasibility("IT", "knowledge-of-omissions") is Feasibility.POSSIBLE
+        # Theorem 3.1: impossibility with infinite memory in omissive models.
+        assert feasibility("T3", "infinite-memory") is Feasibility.IMPOSSIBLE
+        assert feasibility("I3", "infinite-memory") is Feasibility.IMPOSSIBLE
+        # Theorem 3.2: the weak models stay impossible even knowing the bound.
+        assert feasibility("I1", "knowledge-of-omissions") is Feasibility.IMPOSSIBLE
+        assert feasibility("I2", "knowledge-of-omissions") is Feasibility.IMPOSSIBLE
+        # Theorems 4.5 and 4.6.
+        assert feasibility("IO", "unique-ids") is Feasibility.POSSIBLE
+        assert feasibility("IO", "knowledge-of-n") is Feasibility.POSSIBLE
+        # The open question left by the paper.
+        assert feasibility("T2", "knowledge-of-omissions") is Feasibility.OPEN
+
+    def test_tw_is_trivial_everywhere(self):
+        for assumption in ASSUMPTIONS:
+            assert feasibility("TW", assumption) is Feasibility.TRIVIAL
+
+    def test_unknown_cell_raises(self):
+        with pytest.raises(KeyError):
+            feasibility("I3", "telepathy")
+
+    def test_every_cell_cites_a_source(self):
+        for cell in RESULTS_MAP:
+            assert cell.source
+
+    def test_labels(self):
+        cells = results_map()
+        assert cells[("I3", "knowledge-of-omissions")].label().startswith("YES")
+        assert cells[("T1", "infinite-memory")].label().startswith("NO")
+        assert cells[("T2", "knowledge-of-omissions")].label().startswith("?")
+
+    def test_case_insensitive_lookup(self):
+        assert feasibility("io", "unique-ids") is Feasibility.POSSIBLE
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1, "all rows equal width"
+        assert "long-name" in table
+
+    def test_format_table_empty_rows(self):
+        table = format_table(["x"], [])
+        assert "x" in table
+
+    def test_format_results_map_contains_all_models(self):
+        rendered = format_results_map()
+        for model in models_in_map():
+            assert model in rendered
+
+    def test_format_results_map_overrides(self):
+        rendered = format_results_map(overrides={("I3", "knowledge-of-omissions"): "CHECKED"})
+        assert "CHECKED" in rendered
+
+
+class TestStatistics:
+    def test_summarize_counts(self):
+        stats = summarize_counts([1, 2, 3, 4])
+        assert stats.count == 4
+        assert stats.mean == 2.5
+        assert stats.median == 2.5
+        assert stats.minimum == 1
+        assert stats.maximum == 4
+        assert "mean=" in str(stats)
+
+    def test_summarize_empty(self):
+        assert summarize_counts([]) is None
+
+    def test_growth_ratio(self):
+        assert growth_ratio([1, 2, 4, 8]) == pytest.approx(2.0)
+        assert growth_ratio([5]) is None
+        assert growth_ratio([0, 1]) is None
+
+    def test_monotone(self):
+        assert is_monotone_nondecreasing([1, 1, 2, 3])
+        assert not is_monotone_nondecreasing([1, 3, 2])
+        assert is_monotone_nondecreasing([3, 2.95, 4], tolerance=0.1)
+
+    def test_correlation_with_log(self):
+        import math
+
+        sizes = [4, 8, 16, 32, 64]
+        values = [math.log2(size) for size in sizes]
+        assert correlation_with_log(values, sizes) == pytest.approx(1.0)
+        assert correlation_with_log([1, 2], [1, 2]) is None
+        assert correlation_with_log([1, 1, 1], [2, 4, 8]) is None

@@ -1,0 +1,115 @@
+"""Unit tests for the averaging and epidemic catalog protocols."""
+
+import pytest
+
+from repro.protocols.catalog.averaging import AveragingProtocol
+from repro.protocols.catalog.epidemic import (
+    INFORMED,
+    SUSCEPTIBLE,
+    EpidemicProtocol,
+    OneWayEpidemicProtocol,
+)
+from repro.protocols.protocol import ProtocolError
+from repro.protocols.state import Configuration
+
+
+class TestAveraging:
+    def test_invalid_max_value(self):
+        with pytest.raises(ProtocolError):
+            AveragingProtocol(max_value=0)
+
+    def test_even_total_splits_evenly(self, averaging_protocol):
+        assert averaging_protocol.delta(6, 2) == (4, 4)
+
+    def test_odd_total_starter_keeps_ceiling(self, averaging_protocol):
+        assert averaging_protocol.delta(5, 2) == (4, 3)
+
+    def test_total_conserved(self, averaging_protocol):
+        for starter in range(9):
+            for reactor in range(9):
+                new_starter, new_reactor = averaging_protocol.delta(starter, reactor)
+                assert new_starter + new_reactor == starter + reactor
+
+    def test_gap_never_increases(self, averaging_protocol):
+        for starter in range(9):
+            for reactor in range(9):
+                new_starter, new_reactor = averaging_protocol.delta(starter, reactor)
+                assert abs(new_starter - new_reactor) <= abs(starter - reactor)
+
+    def test_total_helper(self):
+        config = Configuration([1, 2, 3])
+        assert AveragingProtocol.total(config) == 6
+
+    def test_is_balanced(self):
+        assert AveragingProtocol.is_balanced(Configuration([3, 3, 4]))
+        assert not AveragingProtocol.is_balanced(Configuration([1, 5]))
+
+    def test_output_is_value(self, averaging_protocol):
+        assert averaging_protocol.output(5) == 5
+
+
+class TestEpidemic:
+    def test_informed_infects(self):
+        protocol = EpidemicProtocol()
+        assert protocol.delta(INFORMED, SUSCEPTIBLE) == (INFORMED, INFORMED)
+
+    def test_susceptible_starter_does_not_infect(self):
+        protocol = EpidemicProtocol()
+        assert protocol.delta(SUSCEPTIBLE, INFORMED) == (SUSCEPTIBLE, INFORMED)
+
+    def test_informed_count_never_decreases(self):
+        protocol = EpidemicProtocol()
+        for starter in protocol.states:
+            for reactor in protocol.states:
+                before = [starter, reactor].count(INFORMED)
+                after = list(protocol.delta(starter, reactor)).count(INFORMED)
+                assert after >= before
+
+    def test_output(self):
+        protocol = EpidemicProtocol()
+        assert protocol.output(INFORMED) is True
+        assert protocol.output(SUSCEPTIBLE) is False
+
+    def test_helpers(self):
+        config = EpidemicProtocol.initial_configuration(1, 3)
+        assert EpidemicProtocol.informed_count(config) == 1
+        assert not EpidemicProtocol.all_informed(config)
+        assert EpidemicProtocol.all_informed(Configuration([INFORMED, INFORMED]))
+
+    def test_one_way_variant_matches_two_way_reactor_side(self):
+        two_way = EpidemicProtocol()
+        one_way = OneWayEpidemicProtocol()
+        for starter in two_way.states:
+            for reactor in two_way.states:
+                assert one_way.f(starter, reactor) == two_way.delta(starter, reactor)[1]
+
+    def test_one_way_variant_g_is_identity(self):
+        one_way = OneWayEpidemicProtocol()
+        assert one_way.g(INFORMED) == INFORMED
+
+
+class TestCatalogRegistry:
+    def test_get_protocol_known(self):
+        from repro.protocols import get_protocol
+
+        protocol = get_protocol("pairing")
+        assert protocol.name == "pairing"
+
+    def test_get_protocol_with_kwargs(self):
+        from repro.protocols import get_protocol
+
+        protocol = get_protocol("threshold", threshold=5)
+        assert protocol.threshold == 5
+
+    def test_get_protocol_unknown(self):
+        from repro.protocols import get_protocol
+
+        with pytest.raises(KeyError):
+            get_protocol("no-such-protocol")
+
+    def test_catalog_protocols_are_closed(self):
+        from repro.protocols import CATALOG
+
+        for name, factory in CATALOG.items():
+            protocol = factory()
+            assert protocol.is_closed(), f"catalog protocol {name} is not closed"

@@ -1,0 +1,159 @@
+"""Unit tests for the counting and boolean-predicate catalog protocols."""
+
+import pytest
+
+from repro.protocols.catalog.counting import ModuloCountingProtocol, ThresholdProtocol
+from repro.protocols.catalog.predicates import AndProtocol, OrProtocol, ParityProtocol
+from repro.protocols.protocol import ProtocolError
+
+
+class TestThresholdProtocol:
+    def test_invalid_threshold(self):
+        with pytest.raises(ProtocolError):
+            ThresholdProtocol(threshold=0)
+
+    def test_initial_states(self, threshold_protocol):
+        assert threshold_protocol.initial_state(0) == (0, False)
+        assert threshold_protocol.initial_state(1) == (1, False)
+
+    def test_initial_state_invalid_bit(self, threshold_protocol):
+        with pytest.raises(ProtocolError):
+            threshold_protocol.initial_state(2)
+
+    def test_threshold_one_marks_input_immediately(self):
+        protocol = ThresholdProtocol(threshold=1)
+        assert protocol.initial_state(1) == (1, True)
+
+    def test_weight_transfer(self, threshold_protocol):
+        new_starter, new_reactor = threshold_protocol.delta((1, False), (1, False))
+        assert new_starter == (0, False)
+        assert new_reactor == (2, False)
+
+    def test_weight_saturates_and_sets_flag(self, threshold_protocol):
+        new_starter, new_reactor = threshold_protocol.delta((2, False), (2, False))
+        assert new_reactor[0] == 3
+        assert new_starter[1] and new_reactor[1]
+
+    def test_flag_propagates_both_ways(self, threshold_protocol):
+        new_starter, new_reactor = threshold_protocol.delta((0, True), (0, False))
+        assert new_starter[1] and new_reactor[1]
+        new_starter, new_reactor = threshold_protocol.delta((0, False), (0, True))
+        assert new_starter[1] and new_reactor[1]
+
+    def test_total_weight_conserved_until_saturation(self, threshold_protocol):
+        for s_weight in range(3):
+            for r_weight in range(3):
+                if s_weight + r_weight <= threshold_protocol.threshold:
+                    new_s, new_r = threshold_protocol.delta(
+                        (s_weight, False), (r_weight, False)
+                    )
+                    assert new_s[0] + new_r[0] == s_weight + r_weight
+
+    def test_output(self, threshold_protocol):
+        assert threshold_protocol.output((0, True)) is True
+        assert threshold_protocol.output((3, False)) is True
+        assert threshold_protocol.output((2, False)) is False
+
+    def test_expected_output(self, threshold_protocol):
+        assert threshold_protocol.expected_output(3) is True
+        assert threshold_protocol.expected_output(2) is False
+
+    def test_initial_configuration(self, threshold_protocol):
+        config = threshold_protocol.initial_configuration(2, 3)
+        assert len(config) == 5
+        assert config.count((1, False)) == 2
+
+    def test_protocol_is_closed(self, threshold_protocol):
+        assert threshold_protocol.is_closed()
+
+
+class TestModuloCountingProtocol:
+    def test_invalid_modulus(self):
+        with pytest.raises(ProtocolError):
+            ModuloCountingProtocol(modulus=1)
+
+    def test_invalid_target(self):
+        with pytest.raises(ProtocolError):
+            ModuloCountingProtocol(modulus=3, target=3)
+
+    def test_collectors_merge(self, modulo_protocol):
+        new_starter, new_reactor = modulo_protocol.delta(("collector", 1), ("collector", 2))
+        assert new_starter == ("follower", 0)
+        assert new_reactor == ("collector", 0)
+
+    def test_collector_updates_follower(self, modulo_protocol):
+        new_starter, new_reactor = modulo_protocol.delta(("collector", 2), ("follower", 0))
+        assert new_starter == ("collector", 2)
+        assert new_reactor == ("follower", 2)
+
+    def test_follower_interactions_are_silent(self, modulo_protocol):
+        assert modulo_protocol.delta(("follower", 1), ("follower", 2)) == (
+            ("follower", 1),
+            ("follower", 2),
+        )
+        assert modulo_protocol.delta(("follower", 1), ("collector", 2)) == (
+            ("follower", 1),
+            ("collector", 2),
+        )
+
+    def test_residue_sum_invariant_over_collectors(self, modulo_protocol):
+        """The sum of collector residues mod m is preserved by every rule."""
+        m = modulo_protocol.modulus
+
+        def collector_sum(states):
+            return sum(res for kind, res in states if kind == "collector") % m
+
+        for s_kind in ("collector", "follower"):
+            for r_kind in ("collector", "follower"):
+                for s_res in range(m):
+                    for r_res in range(m):
+                        before = collector_sum([(s_kind, s_res), (r_kind, r_res)])
+                        after = collector_sum(
+                            modulo_protocol.delta((s_kind, s_res), (r_kind, r_res))
+                        )
+                        assert before == after
+
+    def test_output(self, modulo_protocol):
+        assert modulo_protocol.output(("collector", 0)) is True
+        assert modulo_protocol.output(("follower", 1)) is False
+
+    def test_expected_output(self, modulo_protocol):
+        assert modulo_protocol.expected_output(3) is True
+        assert modulo_protocol.expected_output(4) is False
+
+    def test_protocol_is_closed(self, modulo_protocol):
+        assert modulo_protocol.is_closed()
+
+
+class TestBooleanPredicates:
+    def test_or_spreads_one(self, or_protocol):
+        assert or_protocol.delta(1, 0) == (1, 1)
+        assert or_protocol.delta(0, 1) == (0, 1)
+        assert or_protocol.delta(0, 0) == (0, 0)
+
+    def test_or_expected_output(self, or_protocol):
+        assert OrProtocol.expected_output(0) is False
+        assert OrProtocol.expected_output(1) is True
+
+    def test_and_spreads_zero(self):
+        protocol = AndProtocol()
+        assert protocol.delta(0, 1) == (0, 0)
+        assert protocol.delta(1, 0) == (1, 0)
+        assert protocol.delta(1, 1) == (1, 1)
+
+    def test_and_expected_output(self):
+        assert AndProtocol.expected_output(3, 0) is True
+        assert AndProtocol.expected_output(3, 1) is False
+
+    def test_parity_is_modulo_two(self, parity_protocol):
+        assert parity_protocol.modulus == 2
+        assert parity_protocol.target == 1
+        assert parity_protocol.name == "parity"
+
+    def test_parity_expected_output(self):
+        assert ParityProtocol.expected_output(3) is True
+        assert ParityProtocol.expected_output(4) is False
+
+    def test_or_output(self, or_protocol):
+        assert or_protocol.output(1) is True
+        assert or_protocol.output(0) is False

@@ -1,0 +1,133 @@
+"""Unit tests for the leader-election and majority catalog protocols."""
+
+import pytest
+
+from repro.protocols.catalog.leader_election import FOLLOWER, LEADER, LeaderElectionProtocol
+from repro.protocols.catalog.majority import (
+    A,
+    B,
+    UNDECIDED,
+    WEAK_A,
+    WEAK_B,
+    ApproximateMajorityProtocol,
+    ExactMajorityProtocol,
+)
+
+
+class TestLeaderElection:
+    def test_two_leaders_meet(self, leader_election):
+        assert leader_election.delta(LEADER, LEADER) == (FOLLOWER, LEADER)
+
+    @pytest.mark.parametrize(
+        "starter,reactor",
+        [(LEADER, FOLLOWER), (FOLLOWER, LEADER), (FOLLOWER, FOLLOWER)],
+    )
+    def test_other_pairs_silent(self, leader_election, starter, reactor):
+        assert leader_election.delta(starter, reactor) == (starter, reactor)
+
+    def test_leader_count_never_increases(self, leader_election):
+        for starter in leader_election.states:
+            for reactor in leader_election.states:
+                before = [starter, reactor].count(LEADER)
+                after = list(leader_election.delta(starter, reactor)).count(LEADER)
+                assert after <= before
+
+    def test_leader_count_never_reaches_zero(self, leader_election):
+        for starter in leader_election.states:
+            for reactor in leader_election.states:
+                before = [starter, reactor].count(LEADER)
+                after = list(leader_election.delta(starter, reactor)).count(LEADER)
+                if before > 0:
+                    assert after > 0
+
+    def test_output(self, leader_election):
+        assert leader_election.output(LEADER) is True
+        assert leader_election.output(FOLLOWER) is False
+
+    def test_initial_configuration(self):
+        config = LeaderElectionProtocol.initial_configuration(5)
+        assert config.count(LEADER) == 5
+
+    def test_has_converged(self):
+        from repro.protocols.state import Configuration
+
+        assert LeaderElectionProtocol.has_converged(Configuration([LEADER, FOLLOWER]))
+        assert not LeaderElectionProtocol.has_converged(Configuration([LEADER, LEADER]))
+
+
+class TestApproximateMajority:
+    def test_decided_undecides_opponent(self, approximate_majority):
+        assert approximate_majority.delta(A, B) == (A, UNDECIDED)
+        assert approximate_majority.delta(B, A) == (B, UNDECIDED)
+
+    def test_decided_recruits_undecided(self, approximate_majority):
+        assert approximate_majority.delta(A, UNDECIDED) == (A, A)
+        assert approximate_majority.delta(B, UNDECIDED) == (B, B)
+
+    def test_same_opinion_silent(self, approximate_majority):
+        assert approximate_majority.delta(A, A) == (A, A)
+        assert approximate_majority.delta(B, B) == (B, B)
+
+    def test_undecided_starter_silent(self, approximate_majority):
+        assert approximate_majority.delta(UNDECIDED, A) == (UNDECIDED, A)
+
+    def test_output(self, approximate_majority):
+        assert approximate_majority.output(A) == A
+        assert approximate_majority.output(UNDECIDED) is None
+
+    def test_consensus_helpers(self, approximate_majority):
+        full_a = ApproximateMajorityProtocol.initial_configuration(3, 0)
+        assert ApproximateMajorityProtocol.is_consensus(full_a)
+        assert ApproximateMajorityProtocol.consensus_value(full_a) == A
+        mixed = ApproximateMajorityProtocol.initial_configuration(2, 2)
+        assert not ApproximateMajorityProtocol.is_consensus(mixed)
+        assert ApproximateMajorityProtocol.consensus_value(mixed) is None
+
+
+class TestExactMajority:
+    def test_strong_opinions_cancel(self, exact_majority):
+        assert exact_majority.delta(A, B) == (WEAK_A, WEAK_B)
+        assert exact_majority.delta(B, A) == (WEAK_B, WEAK_A)
+
+    def test_strong_converts_opposite_weak(self, exact_majority):
+        assert exact_majority.delta(A, WEAK_B) == (A, WEAK_A)
+        assert exact_majority.delta(B, WEAK_A) == (B, WEAK_B)
+        assert exact_majority.delta(WEAK_B, A) == (WEAK_A, A)
+        assert exact_majority.delta(WEAK_A, B) == (WEAK_B, B)
+
+    def test_weak_weak_is_silent(self, exact_majority):
+        assert exact_majority.delta(WEAK_A, WEAK_B) == (WEAK_A, WEAK_B)
+        assert exact_majority.delta(WEAK_B, WEAK_A) == (WEAK_B, WEAK_A)
+
+    def test_strong_count_invariant(self, exact_majority):
+        """The difference (#strong A - #strong B) is invariant under every rule."""
+        def balance(states):
+            return sum(1 for s in states if s == A) - sum(1 for s in states if s == B)
+
+        for starter in exact_majority.states:
+            for reactor in exact_majority.states:
+                before = balance([starter, reactor])
+                after = balance(exact_majority.delta(starter, reactor))
+                assert before == after
+
+    def test_output(self, exact_majority):
+        assert exact_majority.output(A) == A
+        assert exact_majority.output(WEAK_A) == A
+        assert exact_majority.output(B) == B
+        assert exact_majority.output(WEAK_B) == B
+
+    def test_majority_opinion(self, exact_majority):
+        assert exact_majority.majority_opinion(3, 2) == A
+        assert exact_majority.majority_opinion(2, 3) == B
+        assert exact_majority.majority_opinion(2, 2) is None
+
+    def test_initial_configuration(self, exact_majority):
+        config = exact_majority.initial_configuration(3, 2)
+        assert config.count(A) == 3
+        assert config.count(B) == 2
+
+    def test_has_converged_to(self, exact_majority):
+        from repro.protocols.state import Configuration
+
+        assert exact_majority.has_converged_to(Configuration([A, WEAK_A]), A)
+        assert not exact_majority.has_converged_to(Configuration([A, WEAK_B]), A)

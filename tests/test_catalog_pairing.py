@@ -1,0 +1,82 @@
+"""Unit tests for the Pairing protocol (Definition 5's two-way solution)."""
+
+import pytest
+
+from repro.protocols.catalog.pairing import (
+    BOTTOM,
+    CONSUMER,
+    CRITICAL,
+    PRODUCER,
+    PairingProtocol,
+)
+
+
+class TestTransitions:
+    def test_consumer_starter_meets_producer(self, pairing):
+        assert pairing.delta(CONSUMER, PRODUCER) == (CRITICAL, BOTTOM)
+
+    def test_producer_starter_meets_consumer(self, pairing):
+        assert pairing.delta(PRODUCER, CONSUMER) == (BOTTOM, CRITICAL)
+
+    def test_symmetric_on_initial_pair(self, pairing):
+        assert pairing.is_symmetric_on(CONSUMER, PRODUCER)
+
+    @pytest.mark.parametrize(
+        "starter,reactor",
+        [
+            (CONSUMER, CONSUMER),
+            (PRODUCER, PRODUCER),
+            (CRITICAL, PRODUCER),
+            (CRITICAL, CONSUMER),
+            (BOTTOM, CONSUMER),
+            (BOTTOM, PRODUCER),
+            (CRITICAL, BOTTOM),
+            (BOTTOM, CRITICAL),
+        ],
+    )
+    def test_all_other_pairs_are_silent(self, pairing, starter, reactor):
+        assert pairing.delta(starter, reactor) == (starter, reactor)
+
+    def test_critical_state_is_absorbing(self, pairing):
+        for other in pairing.states:
+            assert pairing.delta(CRITICAL, other)[0] == CRITICAL
+            assert pairing.delta(other, CRITICAL)[1] == CRITICAL
+
+
+class TestMetadata:
+    def test_states(self, pairing):
+        assert pairing.states == frozenset({CONSUMER, PRODUCER, CRITICAL, BOTTOM})
+
+    def test_initial_states(self, pairing):
+        assert pairing.initial_states == frozenset({CONSUMER, PRODUCER})
+
+    def test_protocol_is_closed(self, pairing):
+        assert pairing.is_closed()
+
+    def test_output_true_only_for_critical(self, pairing):
+        assert pairing.output(CRITICAL) is True
+        assert pairing.output(CONSUMER) is False
+        assert pairing.output(PRODUCER) is False
+        assert pairing.output(BOTTOM) is False
+
+
+class TestHelpers:
+    def test_initial_configuration(self):
+        config = PairingProtocol.initial_configuration(2, 3)
+        assert config.count(CONSUMER) == 2
+        assert config.count(PRODUCER) == 3
+
+    def test_initial_configuration_negative_raises(self):
+        with pytest.raises(ValueError):
+            PairingProtocol.initial_configuration(-1, 2)
+
+    def test_critical_count(self):
+        config = PairingProtocol.initial_configuration(2, 2)
+        assert PairingProtocol.critical_count(config) == 0
+
+    @pytest.mark.parametrize(
+        "consumers,producers,expected",
+        [(3, 5, 3), (5, 3, 3), (0, 4, 0), (4, 0, 0), (2, 2, 2)],
+    )
+    def test_expected_stable_critical(self, consumers, producers, expected):
+        assert PairingProtocol.expected_stable_critical(consumers, producers) == expected

@@ -1,0 +1,111 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.protocol == "exact-majority"
+        assert args.model == "TW"
+        assert args.simulator == "none"
+
+    def test_attack_kinds(self):
+        args = build_parser().parse_args(["attack", "lemma1"])
+        assert args.kind == "lemma1"
+        args = build_parser().parse_args(["attack", "no1", "--model", "I2"])
+        assert args.model == "I2"
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--protocol", "nonsense"])
+
+
+class TestRunCommand:
+    def test_two_way_baseline(self, capsys):
+        exit_code = main([
+            "run", "--protocol", "exact-majority", "--model", "TW",
+            "--population", "8", "--seed", "1", "--max-steps", "50000",
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "converged" in output
+        assert "OK" in output
+
+    def test_skno_on_i3_with_omissions(self, capsys):
+        exit_code = main([
+            "run", "--protocol", "leader-election", "--model", "I3",
+            "--simulator", "skno", "--omission-bound", "1", "--omissions", "1",
+            "--population", "6", "--seed", "2", "--max-steps", "150000",
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "SKnO" in output
+
+    def test_sid_on_io(self, capsys):
+        exit_code = main([
+            "run", "--protocol", "exact-majority", "--model", "IO",
+            "--simulator", "sid", "--population", "6", "--seed", "3",
+            "--max-steps", "150000",
+        ])
+        assert exit_code == 0
+        assert "SID" in capsys.readouterr().out
+
+    def test_known_n_on_io(self, capsys):
+        exit_code = main([
+            "run", "--protocol", "pairing", "--model", "IO",
+            "--simulator", "known-n", "--population", "4", "--seed", "4",
+            "--max-steps", "200000",
+        ])
+        assert exit_code == 0
+        assert "Nn+SID" in capsys.readouterr().out
+
+    def test_weak_model_without_simulator_is_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--protocol", "exact-majority", "--model", "IO"])
+
+    def test_omissions_on_non_omissive_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--protocol", "exact-majority", "--model", "TW", "--omissions", "2"])
+
+    def test_threshold_protocol_with_parameters(self, capsys):
+        exit_code = main([
+            "run", "--protocol", "threshold", "--threshold", "3", "--ones", "4",
+            "--model", "TW", "--population", "7", "--seed", "5", "--max-steps", "50000",
+        ])
+        assert exit_code == 0
+        assert "threshold-3" in capsys.readouterr().out
+
+
+class TestAttackCommand:
+    def test_lemma1_attack_reports_violation(self, capsys):
+        exit_code = main(["attack", "lemma1", "--omission-bound", "1"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "safety violated" in output
+        assert "True" in output
+
+    def test_no1_attack_in_weak_model(self, capsys):
+        exit_code = main(["attack", "no1", "--model", "I1", "--max-steps", "15000"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "VIOLATED" in output
+
+
+class TestInformationCommands:
+    def test_map(self, capsys):
+        assert main(["map"]) == 0
+        output = capsys.readouterr().out
+        assert "TW" in output and "I3" in output and "?" in output
+
+    def test_hierarchy(self, capsys):
+        assert main(["hierarchy"]) == 0
+        output = capsys.readouterr().out
+        assert "IO -> IT" in output
+        assert "weakest to strongest" in output

@@ -1,0 +1,144 @@
+"""Unit tests for repro.protocols.state.Configuration."""
+
+import pytest
+
+from repro.protocols.state import Configuration, state_multiset
+
+
+class TestConstruction:
+    def test_from_iterable(self):
+        config = Configuration(["a", "b", "a"])
+        assert len(config) == 3
+        assert config.states == ("a", "b", "a")
+
+    def test_uniform(self):
+        config = Configuration.uniform("x", 5)
+        assert len(config) == 5
+        assert all(state == "x" for state in config)
+
+    def test_uniform_zero_agents(self):
+        assert len(Configuration.uniform("x", 0)) == 0
+
+    def test_uniform_negative_raises(self):
+        with pytest.raises(ValueError):
+            Configuration.uniform("x", -1)
+
+    def test_from_counts(self):
+        config = Configuration.from_counts({"a": 2, "b": 3})
+        assert config.count("a") == 2
+        assert config.count("b") == 3
+        assert len(config) == 5
+
+    def test_from_counts_negative_raises(self):
+        with pytest.raises(ValueError):
+            Configuration.from_counts({"a": -1})
+
+    def test_from_counts_is_deterministic(self):
+        first = Configuration.from_counts({"a": 2, "b": 1})
+        second = Configuration.from_counts({"a": 2, "b": 1})
+        assert first == second
+
+
+class TestContainerProtocol:
+    def test_indexing(self):
+        config = Configuration(["a", "b", "c"])
+        assert config[0] == "a"
+        assert config[2] == "c"
+
+    def test_iteration(self):
+        config = Configuration([1, 2, 3])
+        assert list(config) == [1, 2, 3]
+
+    def test_equality_with_configuration(self):
+        assert Configuration(["a", "b"]) == Configuration(["a", "b"])
+        assert Configuration(["a", "b"]) != Configuration(["b", "a"])
+
+    def test_equality_with_tuple(self):
+        assert Configuration(["a", "b"]) == ("a", "b")
+
+    def test_hashable(self):
+        seen = {Configuration(["a", "b"]), Configuration(["a", "b"])}
+        assert len(seen) == 1
+
+    def test_hash_differs_for_different_configs(self):
+        assert hash(Configuration(["a", "b"])) != hash(Configuration(["b", "a"]))
+
+    def test_repr_contains_states(self):
+        assert "a" in repr(Configuration(["a"]))
+
+
+class TestViews:
+    def test_multiset(self):
+        config = Configuration(["a", "b", "a"])
+        assert config.multiset() == {"a": 2, "b": 1}
+
+    def test_state_multiset_helper(self):
+        assert state_multiset(["x", "x", "y"]) == {"x": 2, "y": 1}
+
+    def test_count(self):
+        config = Configuration(["a", "b", "a"])
+        assert config.count("a") == 2
+        assert config.count("z") == 0
+
+    def test_count_if(self):
+        config = Configuration([1, 2, 3, 4])
+        assert config.count_if(lambda value: value % 2 == 0) == 2
+
+    def test_indices_of(self):
+        config = Configuration(["a", "b", "a"])
+        assert config.indices_of("a") == (0, 2)
+        assert config.indices_of("z") == ()
+
+    def test_histogram(self):
+        config = Configuration(["a", "a", "b"])
+        assert config.histogram() == {"a": 2, "b": 1}
+
+    def test_same_multiset(self):
+        assert Configuration(["a", "b"]).same_multiset(Configuration(["b", "a"]))
+        assert not Configuration(["a", "a"]).same_multiset(Configuration(["a", "b"]))
+
+
+class TestFunctionalUpdates:
+    def test_replace(self):
+        config = Configuration(["a", "b"])
+        updated = config.replace(1, "c")
+        assert updated == Configuration(["a", "c"])
+        assert config == Configuration(["a", "b"]), "original must be unchanged"
+
+    def test_replace_out_of_range(self):
+        with pytest.raises(IndexError):
+            Configuration(["a"]).replace(3, "b")
+
+    def test_replace_many(self):
+        config = Configuration(["a", "b", "c"])
+        updated = config.replace_many({0: "x", 2: "z"})
+        assert updated == Configuration(["x", "b", "z"])
+
+    def test_replace_many_out_of_range(self):
+        with pytest.raises(IndexError):
+            Configuration(["a"]).replace_many({5: "x"})
+
+    def test_apply_interaction(self):
+        config = Configuration(["a", "b", "c"])
+        updated = config.apply_interaction(0, 2, "a2", "c2")
+        assert updated == Configuration(["a2", "b", "c2"])
+
+    def test_apply_interaction_same_agent_raises(self):
+        with pytest.raises(ValueError):
+            Configuration(["a", "b"]).apply_interaction(1, 1, "x", "y")
+
+    def test_project(self):
+        config = Configuration([1, 2, 3])
+        assert config.project(lambda value: value * 10) == Configuration([10, 20, 30])
+
+    def test_permuted(self):
+        config = Configuration(["a", "b", "c"])
+        assert config.permuted([2, 0, 1]) == Configuration(["c", "a", "b"])
+
+    def test_permuted_invalid(self):
+        with pytest.raises(ValueError):
+            Configuration(["a", "b"]).permuted([0, 0])
+
+    def test_permutation_preserves_multiset(self):
+        config = Configuration(["a", "b", "c"])
+        assert config.permuted([1, 2, 0]).same_multiset(config)

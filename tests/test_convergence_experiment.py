@@ -1,0 +1,167 @@
+"""Unit tests for convergence detection and the batch experiment runner."""
+
+import pytest
+
+from repro.core.trivial import TrivialTwoWaySimulator
+from repro.engine.convergence import run_until_stable, stable_output_condition
+from repro.engine.engine import SimulationEngine
+from repro.engine.experiment import repeat_experiment
+from repro.interaction.models import TW
+from repro.protocols.catalog.leader_election import LEADER, LeaderElectionProtocol
+from repro.protocols.catalog.majority import A, B, ExactMajorityProtocol
+from repro.protocols.catalog.epidemic import INFORMED, SUSCEPTIBLE, EpidemicProtocol
+from repro.protocols.state import Configuration
+from repro.scheduling.scheduler import RandomScheduler, ScriptedScheduler
+from repro.scheduling.runs import Run
+
+
+class TestStableOutputCondition:
+    def test_without_projection(self):
+        protocol = EpidemicProtocol()
+        predicate = stable_output_condition(protocol, True)
+        assert predicate(Configuration([INFORMED, INFORMED]))
+        assert not predicate(Configuration([INFORMED, SUSCEPTIBLE]))
+
+    def test_with_projection(self):
+        protocol = EpidemicProtocol()
+        predicate = stable_output_condition(protocol, True, projection=lambda s: s[0])
+        assert predicate(Configuration([(INFORMED, "extra"), (INFORMED, "extra")]))
+
+
+class TestRunUntilStable:
+    def _leader_engine(self, n, seed=0):
+        protocol = LeaderElectionProtocol()
+        program = TrivialTwoWaySimulator(protocol)
+        return protocol, SimulationEngine(program, TW, RandomScheduler(n, seed=seed))
+
+    def test_converges_on_leader_election(self):
+        protocol, engine = self._leader_engine(6, seed=1)
+        result = run_until_stable(
+            engine,
+            Configuration([LEADER] * 6),
+            predicate=lambda c: c.count(LEADER) == 1,
+            max_steps=10_000,
+        )
+        assert result.converged
+        assert result.steps_to_convergence is not None
+        assert result.steps_to_convergence <= result.steps_executed
+        assert result.final_configuration.count(LEADER) == 1
+
+    def test_already_converged_initially(self):
+        protocol, engine = self._leader_engine(3)
+        result = run_until_stable(
+            engine,
+            Configuration([LEADER, "F", "F"]),
+            predicate=lambda c: c.count(LEADER) == 1,
+            max_steps=100,
+        )
+        assert result.converged
+        assert result.steps_to_convergence == 0
+        assert result.steps_executed == 0
+
+    def test_stability_window_requires_persistence(self):
+        protocol, engine = self._leader_engine(6, seed=3)
+        result = run_until_stable(
+            engine,
+            Configuration([LEADER] * 6),
+            predicate=lambda c: c.count(LEADER) == 1,
+            max_steps=10_000,
+            stability_window=50,
+        )
+        assert result.converged
+        # The trace extends past the first satisfying configuration.
+        assert result.steps_executed >= result.steps_to_convergence + 50
+
+    def test_non_convergence_reported(self):
+        protocol, engine = self._leader_engine(4, seed=5)
+        result = run_until_stable(
+            engine,
+            Configuration([LEADER] * 4),
+            predicate=lambda c: False,
+            max_steps=200,
+        )
+        assert not result.converged
+        assert result.steps_to_convergence is None
+        assert result.steps_executed == 200
+
+    def test_scheduler_exhaustion_ends_run(self):
+        protocol = LeaderElectionProtocol()
+        program = TrivialTwoWaySimulator(protocol)
+        engine = SimulationEngine(program, TW, ScriptedScheduler(Run.from_pairs([(0, 1)])))
+        result = run_until_stable(
+            engine,
+            Configuration([LEADER, LEADER, LEADER]),
+            predicate=lambda c: False,
+            max_steps=1_000,
+        )
+        assert result.steps_executed == 1
+        assert not result.converged
+
+
+class TestRepeatExperiment:
+    def test_all_runs_converge_for_easy_workload(self):
+        protocol = ExactMajorityProtocol()
+        program = TrivialTwoWaySimulator(protocol)
+        initial = protocol.initial_configuration(5, 2)
+        result = repeat_experiment(
+            program,
+            TW,
+            initial,
+            predicate=lambda c: all(protocol.output(s) == A for s in c),
+            runs=5,
+            max_steps=20_000,
+            base_seed=10,
+        )
+        assert result.runs == 5
+        assert result.all_succeeded
+        assert result.success_rate == 1.0
+        assert result.mean_convergence_steps is not None
+        assert result.median_convergence_steps is not None
+        assert result.max_convergence_steps >= result.median_convergence_steps
+        assert "success=5/5" in result.summary()
+
+    def test_failures_are_recorded(self):
+        protocol = ExactMajorityProtocol()
+        program = TrivialTwoWaySimulator(protocol)
+        initial = protocol.initial_configuration(4, 2)
+        result = repeat_experiment(
+            program,
+            TW,
+            initial,
+            predicate=lambda c: False,
+            runs=2,
+            max_steps=50,
+        )
+        assert result.successes == 0
+        assert len(result.failures) == 2
+        assert result.mean_convergence_steps is None
+        assert not result.all_succeeded
+
+    def test_validate_hook_can_fail_runs(self):
+        protocol = ExactMajorityProtocol()
+        program = TrivialTwoWaySimulator(protocol)
+        initial = protocol.initial_configuration(4, 2)
+        result = repeat_experiment(
+            program,
+            TW,
+            initial,
+            predicate=lambda c: all(protocol.output(s) == A for s in c),
+            runs=2,
+            max_steps=20_000,
+            validate=lambda outcome: "rejected by validator",
+        )
+        assert result.successes == 0
+        assert all("rejected" in failure for failure in result.failures)
+
+    def test_empty_experiment(self):
+        protocol = ExactMajorityProtocol()
+        program = TrivialTwoWaySimulator(protocol)
+        result = repeat_experiment(
+            program,
+            TW,
+            protocol.initial_configuration(3, 1),
+            predicate=lambda c: True,
+            runs=0,
+        )
+        assert result.runs == 0
+        assert result.success_rate == 0.0

@@ -1,0 +1,160 @@
+"""Unit tests for the simulation engine."""
+
+import pytest
+
+from repro.core.trivial import TrivialTwoWaySimulator
+from repro.engine.engine import EngineError, SimulationEngine
+from repro.interaction.models import IO, TW, get_model
+from repro.interaction.omissions import REACTOR_OMISSION
+from repro.protocols.catalog.epidemic import (
+    INFORMED,
+    SUSCEPTIBLE,
+    EpidemicProtocol,
+    OneWayEpidemicProtocol,
+)
+from repro.protocols.catalog.leader_election import LEADER, LeaderElectionProtocol
+from repro.protocols.state import Configuration
+from repro.scheduling.runs import Interaction, Run
+from repro.scheduling.scheduler import RandomScheduler, RoundRobinScheduler, ScriptedScheduler
+
+
+@pytest.fixture
+def tw_epidemic_engine():
+    protocol = EpidemicProtocol()
+    program = TrivialTwoWaySimulator(protocol)
+    return SimulationEngine(program, TW, RoundRobinScheduler(3))
+
+
+class TestExecuteInteraction:
+    def test_two_way_interaction(self, tw_epidemic_engine):
+        config = Configuration([INFORMED, SUSCEPTIBLE, SUSCEPTIBLE])
+        updated = tw_epidemic_engine.execute_interaction(config, Interaction(0, 1))
+        assert updated == Configuration([INFORMED, INFORMED, SUSCEPTIBLE])
+
+    def test_out_of_range_agent(self, tw_epidemic_engine):
+        config = Configuration([INFORMED, SUSCEPTIBLE])
+        with pytest.raises(EngineError):
+            tw_epidemic_engine.execute_interaction(config, Interaction(0, 5))
+
+    def test_one_way_interaction(self):
+        engine = SimulationEngine(OneWayEpidemicProtocol(), IO, RoundRobinScheduler(2))
+        config = Configuration([INFORMED, SUSCEPTIBLE])
+        updated = engine.execute_interaction(config, Interaction(0, 1))
+        assert updated == Configuration([INFORMED, INFORMED])
+
+
+class TestRun:
+    def test_run_records_every_interaction(self, tw_epidemic_engine):
+        config = Configuration([INFORMED, SUSCEPTIBLE, SUSCEPTIBLE])
+        trace = tw_epidemic_engine.run(config, max_steps=10)
+        assert len(trace) == 10
+        assert trace.initial_configuration == config
+
+    def test_epidemic_spreads_under_round_robin(self, tw_epidemic_engine):
+        config = Configuration([INFORMED, SUSCEPTIBLE, SUSCEPTIBLE])
+        trace = tw_epidemic_engine.run(config, max_steps=12)
+        assert all(state == INFORMED for state in trace.final_configuration)
+
+    def test_stop_condition(self, tw_epidemic_engine):
+        config = Configuration([INFORMED, SUSCEPTIBLE, SUSCEPTIBLE])
+        trace = tw_epidemic_engine.run(
+            config,
+            max_steps=100,
+            stop_condition=lambda c: all(s == INFORMED for s in c),
+        )
+        assert len(trace) < 100
+        assert all(state == INFORMED for state in trace.final_configuration)
+
+    def test_zero_steps(self, tw_epidemic_engine):
+        config = Configuration([INFORMED, SUSCEPTIBLE, SUSCEPTIBLE])
+        trace = tw_epidemic_engine.run(config, max_steps=0)
+        assert len(trace) == 0
+        assert trace.final_configuration == config
+
+    def test_negative_steps_rejected(self, tw_epidemic_engine):
+        with pytest.raises(EngineError):
+            tw_epidemic_engine.run(Configuration([INFORMED, SUSCEPTIBLE]), max_steps=-1)
+
+    def test_single_agent_population_rejected(self, tw_epidemic_engine):
+        with pytest.raises(EngineError):
+            tw_epidemic_engine.run(Configuration([INFORMED]), max_steps=5)
+
+    def test_scripted_scheduler_ends_run_early(self):
+        protocol = EpidemicProtocol()
+        program = TrivialTwoWaySimulator(protocol)
+        scheduler = ScriptedScheduler(Run.from_pairs([(0, 1), (1, 2)]))
+        engine = SimulationEngine(program, TW, scheduler)
+        trace = engine.run(Configuration([INFORMED, SUSCEPTIBLE, SUSCEPTIBLE]), max_steps=50)
+        assert len(trace) == 2
+
+    def test_leader_election_reaches_single_leader(self):
+        protocol = LeaderElectionProtocol()
+        program = TrivialTwoWaySimulator(protocol)
+        engine = SimulationEngine(program, TW, RandomScheduler(6, seed=2))
+        trace = engine.run(
+            Configuration([LEADER] * 6),
+            max_steps=5_000,
+            stop_condition=lambda c: c.count(LEADER) == 1,
+        )
+        assert trace.final_configuration.count(LEADER) == 1
+
+    def test_determinism_given_seeded_scheduler(self):
+        protocol = LeaderElectionProtocol()
+        program = TrivialTwoWaySimulator(protocol)
+        config = Configuration([LEADER] * 5)
+        traces = []
+        for _ in range(2):
+            engine = SimulationEngine(program, TW, RandomScheduler(5, seed=77))
+            traces.append(engine.run(config, max_steps=200))
+        assert traces[0].final_configuration == traces[1].final_configuration
+        assert traces[0].run() == traces[1].run()
+
+
+class TestAdversaryIntegration:
+    class OneShotAdversary:
+        """Injects a single fixed omissive interaction before scheduled step 2."""
+
+        def __init__(self):
+            self.done = False
+
+        def interactions_before(self, step, scheduled, n):
+            if step == 2 and not self.done:
+                self.done = True
+                return [Interaction(0, 1, omission=REACTOR_OMISSION)]
+            return []
+
+    def test_adversary_injections_are_executed_and_counted(self):
+        protocol = OneWayEpidemicProtocol()
+        engine = SimulationEngine(
+            protocol, get_model("I1"), RoundRobinScheduler(3), adversary=self.OneShotAdversary()
+        )
+        config = Configuration([INFORMED, SUSCEPTIBLE, SUSCEPTIBLE])
+        trace = engine.run(config, max_steps=20)
+        assert trace.omission_count() == 1
+        assert len(trace) == 20
+
+    def test_injected_interactions_count_toward_max_steps(self):
+        protocol = OneWayEpidemicProtocol()
+        engine = SimulationEngine(
+            protocol, get_model("I1"), RoundRobinScheduler(3), adversary=self.OneShotAdversary()
+        )
+        config = Configuration([INFORMED, SUSCEPTIBLE, SUSCEPTIBLE])
+        trace = engine.run(config, max_steps=3)
+        assert len(trace) == 3
+
+
+class TestReplay:
+    def test_replay_executes_run_verbatim(self):
+        protocol = OneWayEpidemicProtocol()
+        engine = SimulationEngine(protocol, get_model("I1"), RoundRobinScheduler(2))
+        run = Run(
+            [
+                Interaction(0, 1, omission=REACTOR_OMISSION),
+                Interaction(0, 1),
+            ]
+        )
+        trace = engine.replay(Configuration([INFORMED, SUSCEPTIBLE]), run)
+        assert len(trace) == 2
+        # The omissive observation does not inform agent 1; the second one does.
+        assert trace.configuration_at(1) == Configuration([INFORMED, SUSCEPTIBLE])
+        assert trace.final_configuration == Configuration([INFORMED, INFORMED])

@@ -1,0 +1,115 @@
+"""Unit tests for Transition Time / Fastest Transition Time (Definitions 6 and 7)."""
+
+import pytest
+
+from repro.adversary.ftt import (
+    FTTSearchError,
+    fastest_transition_time,
+    transition_time,
+)
+from repro.core.sid import SIDSimulator
+from repro.core.skno import SKnOSimulator
+from repro.core.trivial import TrivialTwoWaySimulator
+from repro.interaction.models import IO, IT, TW, get_model
+from repro.interaction.adapters import one_way_as_two_way
+from repro.protocols.catalog.pairing import PairingProtocol
+from repro.protocols.state import Configuration
+from repro.scheduling.runs import Run
+
+
+@pytest.fixture
+def pairing_protocol():
+    return PairingProtocol()
+
+
+class TestTrivialSimulatorFTT:
+    def test_tw_baseline_has_ftt_one(self, pairing_protocol):
+        simulator = TrivialTwoWaySimulator(pairing_protocol)
+        config = Configuration(["p", "c"])
+        result = fastest_transition_time(simulator, TW, config)
+        assert result.ftt == 1
+        assert len(result.witness) == 1
+
+    def test_silent_pair_has_ftt_zero(self, pairing_protocol):
+        simulator = TrivialTwoWaySimulator(pairing_protocol)
+        config = Configuration(["c", "c"])
+        result = fastest_transition_time(simulator, TW, config)
+        assert result.ftt == 0
+        assert len(result.witness) == 0
+
+
+class TestSKnOFTT:
+    @pytest.mark.parametrize("omission_bound,expected", [(0, 2), (1, 4), (2, 6)])
+    def test_ftt_is_two_times_run_length(self, pairing_protocol, omission_bound, expected):
+        """SKnO needs (o+1) interactions per direction: FTT = 2(o+1)."""
+        simulator = SKnOSimulator(pairing_protocol, omission_bound=omission_bound)
+        config = Configuration(
+            [simulator.initial_state("p"), simulator.initial_state("c")]
+        )
+        result = fastest_transition_time(simulator, get_model("I3"), config)
+        assert result.ftt == expected
+
+    def test_witness_achieves_the_target(self, pairing_protocol):
+        simulator = SKnOSimulator(pairing_protocol, omission_bound=1)
+        config = Configuration(
+            [simulator.initial_state("p"), simulator.initial_state("c")]
+        )
+        result = fastest_transition_time(simulator, get_model("I3"), config)
+        assert transition_time(simulator, get_model("I3"), config, result.witness) == result.ftt
+
+    def test_ftt_same_under_t3_adapter(self, pairing_protocol):
+        """Non-omissive behaviour is identical under I3 and under the T3 adapter."""
+        simulator = SKnOSimulator(pairing_protocol, omission_bound=1)
+        config = Configuration(
+            [simulator.initial_state("p"), simulator.initial_state("c")]
+        )
+        direct = fastest_transition_time(simulator, get_model("I3"), config)
+        adapted = fastest_transition_time(
+            one_way_as_two_way(simulator), get_model("T3"), config
+        )
+        assert direct.ftt == adapted.ftt
+
+    def test_depth_limit_raises(self, pairing_protocol):
+        simulator = SKnOSimulator(pairing_protocol, omission_bound=3)
+        config = Configuration(
+            [simulator.initial_state("p"), simulator.initial_state("c")]
+        )
+        with pytest.raises(FTTSearchError):
+            fastest_transition_time(simulator, get_model("I3"), config, max_depth=3)
+
+
+class TestSIDFTT:
+    def test_sid_ftt_is_three(self, pairing_protocol):
+        """SID needs pairing, locking and completion: 3 observations."""
+        simulator = SIDSimulator(pairing_protocol)
+        config = Configuration(
+            [
+                simulator.initial_state("p", agent_id=0),
+                simulator.initial_state("c", agent_id=1),
+            ]
+        )
+        result = fastest_transition_time(simulator, IO, config)
+        assert result.ftt == 3
+
+
+class TestTransitionTime:
+    def test_run_that_never_transitions(self, pairing_protocol):
+        simulator = SKnOSimulator(pairing_protocol, omission_bound=0)
+        config = Configuration(
+            [simulator.initial_state("p"), simulator.initial_state("c")]
+        )
+        # A single interaction is not enough for SKnO (needs 2).
+        assert transition_time(simulator, get_model("I3"), config, Run.from_pairs([(0, 1)])) is None
+
+    def test_requires_two_agents(self, pairing_protocol):
+        simulator = SKnOSimulator(pairing_protocol, omission_bound=0)
+        config = Configuration([simulator.initial_state("p")])
+        with pytest.raises(ValueError):
+            transition_time(simulator, get_model("I3"), config, Run())
+        with pytest.raises(ValueError):
+            fastest_transition_time(simulator, get_model("I3"), config)
+
+    def test_result_str(self, pairing_protocol):
+        simulator = TrivialTwoWaySimulator(pairing_protocol)
+        result = fastest_transition_time(simulator, TW, Configuration(["p", "c"]))
+        assert "FTT=1" in str(result)

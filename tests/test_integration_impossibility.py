@@ -1,0 +1,161 @@
+"""Integration tests for the impossibility results (Theorems 3.1, 3.2, 3.3).
+
+These tests execute the paper's adversarial constructions against the
+concrete simulators of Section 4 and check that the predicted failures
+actually materialise:
+
+* Lemma 1 / Theorem 3.1: a number of omissions equal to the simulator's FTT
+  suffices to violate the safety of the Pairing problem.
+* Theorem 3.3: the same attack bounds the graceful-degradation threshold.
+* Theorem 3.2: in the weak models ``I1``/``I2``/``T1`` a *single* omission
+  already prevents correct simulation (for the token-based ``SKnO`` the
+  failure mode is a permanent stall).
+"""
+
+import pytest
+
+from repro.adversary.constructions import (
+    ConstructionError,
+    Lemma1Construction,
+    no1_liveness_attack,
+)
+from repro.adversary.ftt import fastest_transition_time
+from repro.core.skno import SKnOSimulator
+from repro.interaction.adapters import one_way_as_two_way
+from repro.interaction.models import get_model
+from repro.problems.pairing import PairingProblem
+from repro.protocols.catalog.leader_election import LeaderElectionProtocol
+from repro.protocols.catalog.pairing import PairingProtocol
+from repro.protocols.state import Configuration
+
+
+@pytest.fixture
+def pairing_protocol():
+    return PairingProtocol()
+
+
+class TestLemma1Attack:
+    @pytest.mark.parametrize("omission_bound", [1, 2])
+    def test_safety_violation_with_ftt_omissions(self, pairing_protocol, omission_bound):
+        simulator = one_way_as_two_way(
+            SKnOSimulator(pairing_protocol, omission_bound=omission_bound))
+        construction = Lemma1Construction(simulator, get_model("T3"), q0="p", q1="c")
+        result = construction.execute()
+        # The attack uses exactly FTT = 2(o+1) omissions...
+        assert result.ftt == 2 * (omission_bound + 1)
+        assert result.omissions_used == result.ftt
+        # ...which exceeds the bound the simulator was designed for...
+        assert result.omissions_used > omission_bound
+        # ...and produces more critical consumers than there are producers.
+        assert result.safety_violated
+        assert result.q1_to_q1_prime_transitions >= result.producers + 1
+
+    def test_population_size_matches_lemma(self, pairing_protocol):
+        simulator = one_way_as_two_way(SKnOSimulator(pairing_protocol, omission_bound=1))
+        construction = Lemma1Construction(simulator, get_model("T3"), q0="p", q1="c")
+        result = construction.execute()
+        assert result.population == 2 * result.ftt + 2
+
+    def test_attack_run_projected_trace_violates_pairing_problem(self, pairing_protocol):
+        simulator = one_way_as_two_way(SKnOSimulator(pairing_protocol, omission_bound=1))
+        construction = Lemma1Construction(simulator, get_model("T3"), q0="p", q1="c")
+        result = construction.execute()
+        problem = PairingProblem(
+            consumers=result.population - result.producers, producers=result.producers)
+        report = problem.check(
+            result.trace.projected_configurations(simulator.project))
+        assert not report.safe, "the Pairing safety invariant must be violated"
+
+    def test_summary_mentions_violation(self, pairing_protocol):
+        simulator = one_way_as_two_way(SKnOSimulator(pairing_protocol, omission_bound=1))
+        result = Lemma1Construction(simulator, get_model("T3"), q0="p", q1="c").execute()
+        assert "SAFETY VIOLATED" in result.summary()
+
+    def test_requires_symmetric_protocol(self):
+        protocol = LeaderElectionProtocol()
+        simulator = one_way_as_two_way(SKnOSimulator(protocol, omission_bound=1))
+        with pytest.raises(ConstructionError):
+            Lemma1Construction(simulator, get_model("T3"), q0="L", q1="F")
+
+    def test_requires_omissive_two_way_model(self, pairing_protocol):
+        simulator = one_way_as_two_way(SKnOSimulator(pairing_protocol, omission_bound=1))
+        with pytest.raises(ConstructionError):
+            Lemma1Construction(simulator, get_model("TW"), q0="p", q1="c")
+        with pytest.raises(ConstructionError):
+            Lemma1Construction(simulator, get_model("I3"), q0="p", q1="c")
+
+    def test_ik_runs_have_exactly_one_omission(self, pairing_protocol):
+        simulator = one_way_as_two_way(SKnOSimulator(pairing_protocol, omission_bound=1))
+        construction = Lemma1Construction(simulator, get_model("T3"), q0="p", q1="c")
+        ftt = construction.compute_ftt()
+        for k in range(ftt.ftt):
+            ik_run, commit_time = construction.build_ik(ftt.witness, k)
+            assert ik_run.omission_count() == 1
+            assert 0 < commit_time <= len(ik_run)
+
+    def test_graceful_degradation_threshold(self, pairing_protocol):
+        """Theorem 3.3: the attack works for every simulator with FTT >= 2,
+        so no gracefully degrading simulator can promise a threshold above 1."""
+        for omission_bound in (1, 2):
+            simulator = one_way_as_two_way(
+                SKnOSimulator(pairing_protocol, omission_bound=omission_bound))
+            result = Lemma1Construction(
+                simulator, get_model("T3"), q0="p", q1="c").execute()
+            assert result.ftt >= 2
+            assert result.safety_violated
+
+
+class TestTheorem32NO1:
+    """One omission in the weak models I1/I2/T1 already breaks the simulation."""
+
+    def _pairing_config(self):
+        return Configuration(["p", "c"])
+
+    @pytest.mark.parametrize("model_name", ["I1", "I2"])
+    def test_single_omission_stalls_skno_in_weak_one_way_models(
+            self, pairing_protocol, model_name):
+        simulator = SKnOSimulator(pairing_protocol, omission_bound=1)
+        result = no1_liveness_attack(
+            simulator, model_name, target_state="cs", expected_committed=1,
+            initial_p_configuration=self._pairing_config(), safety_bound=1,
+            max_steps=20_000)
+        assert result.omissions_used == 1
+        assert result.liveness_violated or result.safety_violated
+        assert "VIOLATED" in result.summary()
+
+    def test_single_omission_stalls_skno_in_t1(self, pairing_protocol):
+        simulator = one_way_as_two_way(SKnOSimulator(pairing_protocol, omission_bound=1))
+        result = no1_liveness_attack(
+            simulator, "T1", target_state="cs", expected_committed=1,
+            initial_p_configuration=self._pairing_config(), safety_bound=1,
+            max_steps=20_000)
+        assert result.liveness_violated or result.safety_violated
+
+    @pytest.mark.parametrize("model_name", ["I3", "I4"])
+    def test_strong_models_survive_the_same_single_omission(
+            self, pairing_protocol, model_name):
+        """Control experiment: with detection (I3/I4) the same attack is harmless."""
+        simulator = SKnOSimulator(pairing_protocol, omission_bound=1, variant=model_name)
+        result = no1_liveness_attack(
+            simulator, model_name, target_state="cs", expected_committed=1,
+            initial_p_configuration=self._pairing_config(), safety_bound=1,
+            max_steps=20_000)
+        assert not result.liveness_violated
+        assert not result.safety_violated
+
+    def test_rejects_non_omissive_model(self, pairing_protocol):
+        simulator = SKnOSimulator(pairing_protocol, omission_bound=1)
+        with pytest.raises(ConstructionError):
+            no1_liveness_attack(
+                simulator, "IO", target_state="cs", expected_committed=1,
+                initial_p_configuration=self._pairing_config())
+
+
+class TestFTTOmissionConnection:
+    def test_the_attack_uses_exactly_ftt_omissions(self, pairing_protocol):
+        """The headline message of Section 3: FTT omissions suffice to fool a simulator."""
+        simulator = one_way_as_two_way(SKnOSimulator(pairing_protocol, omission_bound=1))
+        c0 = Configuration([simulator.initial_state("p"), simulator.initial_state("c")])
+        ftt = fastest_transition_time(simulator, get_model("T3"), c0)
+        result = Lemma1Construction(simulator, get_model("T3"), q0="p", q1="c").execute()
+        assert result.omissions_used == ftt.ftt

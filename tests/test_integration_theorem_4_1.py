@@ -1,0 +1,156 @@
+"""Integration tests for Theorem 4.1 and Corollary 1.
+
+``SKnO`` must simulate arbitrary two-way protocols on ``I3``/``I4`` when the
+number of omissions stays within the announced bound, and on ``IT`` with
+``o = 0``.  "Simulate" is checked end to end: the simulated protocol's output
+stabilises to the correct value AND the trace passes the Definition 3/4
+verification (events, matching, derived run).
+"""
+
+import pytest
+
+from repro.adversary.omission import BoundedOmissionAdversary, UOAdversary
+from repro.core.skno import SKnOSimulator
+from repro.core.verification import verify_simulation
+from repro.engine.convergence import run_until_stable
+from repro.engine.engine import SimulationEngine
+from repro.interaction.models import get_model
+from repro.problems.pairing import PairingProblem
+from repro.protocols.catalog.majority import ExactMajorityProtocol
+from repro.protocols.catalog.pairing import PairingProtocol
+from repro.protocols.catalog.predicates import OrProtocol
+from repro.protocols.state import Configuration
+from repro.scheduling.scheduler import RandomScheduler
+
+MAX_STEPS = 150_000
+WINDOW = 300
+
+
+def simulate_and_verify(simulator, model, config, predicate, adversary=None, seed=0,
+                        max_steps=MAX_STEPS):
+    engine = SimulationEngine(simulator, model, RandomScheduler(len(config), seed=seed),
+                              adversary=adversary)
+    result = run_until_stable(engine, config, predicate, max_steps=max_steps,
+                              stability_window=WINDOW)
+    report = verify_simulation(simulator, result.trace)
+    return result, report
+
+
+class TestCorollary1IT:
+    """o = 0: every TW protocol is simulable on Immediate Transmission."""
+
+    def test_exact_majority_on_it(self):
+        protocol = ExactMajorityProtocol()
+        simulator = SKnOSimulator(protocol, omission_bound=0)
+        config = simulator.initial_configuration(protocol.initial_configuration(5, 3))
+        predicate = lambda c: all(
+            protocol.output(simulator.project(s)) == "A" for s in c)
+        result, report = simulate_and_verify(simulator, get_model("IT"), config, predicate)
+        assert result.converged, "majority must stabilise through the simulator"
+        assert report.ok, report.errors
+
+    def test_or_on_it(self):
+        protocol = OrProtocol()
+        simulator = SKnOSimulator(protocol, omission_bound=0)
+        config = simulator.initial_configuration(protocol.initial_configuration(1, 5))
+        predicate = lambda c: all(simulator.project(s) == 1 for s in c)
+        result, report = simulate_and_verify(simulator, get_model("IT"), config, predicate)
+        assert result.converged
+        assert report.ok, report.errors
+
+    def test_pairing_on_it_preserves_safety_and_liveness(self):
+        protocol = PairingProtocol()
+        problem = PairingProblem(consumers=3, producers=2)
+        simulator = SKnOSimulator(protocol, omission_bound=0)
+        config = simulator.initial_configuration(problem.initial_configuration())
+        predicate = lambda c: problem.is_live(c.project(simulator.project))
+        result, report = simulate_and_verify(simulator, get_model("IT"), config, predicate,
+                                             seed=3)
+        assert result.converged
+        assert report.ok, report.errors
+        problem_report = problem.check(
+            result.trace.projected_configurations(simulator.project))
+        assert problem_report.safe
+        assert problem_report.live
+
+
+class TestTheorem41I3:
+    """Omissions within the bound o: simulation still works on I3."""
+
+    @pytest.mark.parametrize("omission_bound", [1, 2, 3])
+    def test_exact_majority_with_bounded_omissions(self, omission_bound):
+        protocol = ExactMajorityProtocol()
+        simulator = SKnOSimulator(protocol, omission_bound=omission_bound)
+        config = simulator.initial_configuration(protocol.initial_configuration(5, 3))
+        adversary = BoundedOmissionAdversary(
+            get_model("I3"), max_omissions=omission_bound, seed=omission_bound)
+        predicate = lambda c: all(
+            protocol.output(simulator.project(s)) == "A" for s in c)
+        result, report = simulate_and_verify(
+            simulator, get_model("I3"), config, predicate, adversary=adversary,
+            seed=omission_bound)
+        assert result.converged
+        assert result.trace.omission_count() <= omission_bound
+        assert report.ok, report.errors
+
+    def test_pairing_with_omissions_keeps_safety(self):
+        protocol = PairingProtocol()
+        problem = PairingProblem(consumers=2, producers=3)
+        simulator = SKnOSimulator(protocol, omission_bound=2)
+        config = simulator.initial_configuration(problem.initial_configuration())
+        adversary = BoundedOmissionAdversary(get_model("I3"), max_omissions=2, seed=7)
+        predicate = lambda c: problem.is_live(c.project(simulator.project))
+        result, report = simulate_and_verify(
+            simulator, get_model("I3"), config, predicate, adversary=adversary, seed=11)
+        assert result.converged
+        assert report.ok, report.errors
+        problem_report = problem.check(
+            result.trace.projected_configurations(simulator.project))
+        assert problem_report.safe
+        assert problem_report.live
+
+    def test_uo_adversary_with_budget_within_bound(self):
+        """A UO-style adversary whose injections happen to stay within o is harmless."""
+        protocol = OrProtocol()
+        simulator = SKnOSimulator(protocol, omission_bound=4)
+        config = simulator.initial_configuration(protocol.initial_configuration(2, 4))
+        adversary = BoundedOmissionAdversary(get_model("I3"), max_omissions=4, rate=0.9, seed=2)
+        predicate = lambda c: all(simulator.project(s) == 1 for s in c)
+        result, report = simulate_and_verify(
+            simulator, get_model("I3"), config, predicate, adversary=adversary, seed=5)
+        assert result.converged
+        assert report.ok, report.errors
+
+
+class TestTheorem41I4:
+    """The symmetric variant for I4 (starter-side omission detection)."""
+
+    @pytest.mark.parametrize("omission_bound", [1, 2])
+    def test_exact_majority_on_i4(self, omission_bound):
+        protocol = ExactMajorityProtocol()
+        simulator = SKnOSimulator(protocol, omission_bound=omission_bound, variant="I4")
+        config = simulator.initial_configuration(protocol.initial_configuration(5, 3))
+        adversary = BoundedOmissionAdversary(
+            get_model("I4"), max_omissions=omission_bound, seed=omission_bound)
+        predicate = lambda c: all(
+            protocol.output(simulator.project(s)) == "A" for s in c)
+        result, report = simulate_and_verify(
+            simulator, get_model("I4"), config, predicate, adversary=adversary,
+            seed=13 + omission_bound)
+        assert result.converged
+        assert report.ok, report.errors
+
+    def test_pairing_on_i4_keeps_safety(self):
+        protocol = PairingProtocol()
+        problem = PairingProblem(consumers=2, producers=2)
+        simulator = SKnOSimulator(protocol, omission_bound=1, variant="I4")
+        config = simulator.initial_configuration(problem.initial_configuration())
+        adversary = BoundedOmissionAdversary(get_model("I4"), max_omissions=1, seed=3)
+        predicate = lambda c: problem.is_live(c.project(simulator.project))
+        result, report = simulate_and_verify(
+            simulator, get_model("I4"), config, predicate, adversary=adversary, seed=17)
+        assert result.converged
+        assert report.ok, report.errors
+        problem_report = problem.check(
+            result.trace.projected_configurations(simulator.project))
+        assert problem_report.safe

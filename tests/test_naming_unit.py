@@ -1,0 +1,152 @@
+"""Unit tests for the naming protocol Nn and the knowledge-of-n simulator (Theorem 4.6)."""
+
+import pytest
+
+from repro.core.base import SimulatorError
+from repro.core.naming import (
+    NAMING,
+    SIMULATING,
+    KnownSizeSimulator,
+    KnownSizeState,
+    NamingState,
+)
+from repro.engine.engine import SimulationEngine
+from repro.interaction.models import IO
+from repro.protocols.catalog.pairing import PairingProtocol
+from repro.protocols.state import Configuration
+from repro.scheduling.scheduler import RandomScheduler
+
+
+@pytest.fixture
+def protocol():
+    return PairingProtocol()
+
+
+class TestConstruction:
+    def test_population_size_must_be_positive(self, protocol):
+        with pytest.raises(SimulatorError):
+            KnownSizeSimulator(protocol, population_size=0)
+
+    def test_initial_state_starts_naming(self, protocol):
+        simulator = KnownSizeSimulator(protocol, population_size=4)
+        state = simulator.initial_state("c")
+        assert state.phase == NAMING
+        assert state.naming == NamingState(my_id=1, max_id=1)
+        assert state.p_initial == "c"
+
+    def test_singleton_population_skips_naming(self, protocol):
+        simulator = KnownSizeSimulator(protocol, population_size=1)
+        state = simulator.initial_state("c")
+        assert state.phase == SIMULATING
+        assert state.sid.my_id == 1
+
+    def test_initial_configuration_size_check(self, protocol):
+        simulator = KnownSizeSimulator(protocol, population_size=3)
+        with pytest.raises(SimulatorError):
+            simulator.initial_configuration(Configuration(["c", "p"]))
+
+    def test_projection_during_naming(self, protocol):
+        simulator = KnownSizeSimulator(protocol, population_size=3)
+        assert simulator.project(simulator.initial_state("p")) == "p"
+
+    def test_embedded_sid(self, protocol):
+        simulator = KnownSizeSimulator(protocol, population_size=3)
+        assert simulator.sid.protocol is protocol
+
+
+class TestNamingRules:
+    def test_collision_increments_reactor_id(self, protocol):
+        simulator = KnownSizeSimulator(protocol, population_size=4)
+        starter = simulator.initial_state("c")
+        reactor = simulator.initial_state("c")
+        after = simulator.f(starter, reactor)
+        assert after.naming.my_id == 2
+        assert after.naming.max_id == 2
+
+    def test_no_collision_keeps_id(self, protocol):
+        simulator = KnownSizeSimulator(protocol, population_size=4)
+        starter = KnownSizeState(phase=NAMING, p_initial="c", naming=NamingState(2, 2))
+        reactor = simulator.initial_state("c")
+        after = simulator.f(starter, reactor)
+        assert after.naming.my_id == 1
+        assert after.naming.max_id == 2, "max id is learned from the starter"
+
+    def test_max_id_propagates(self, protocol):
+        simulator = KnownSizeSimulator(protocol, population_size=5)
+        starter = KnownSizeState(phase=NAMING, p_initial="c", naming=NamingState(1, 4))
+        reactor = KnownSizeState(phase=NAMING, p_initial="p", naming=NamingState(2, 2))
+        after = simulator.f(starter, reactor)
+        assert after.naming.max_id == 4
+
+    def test_reaching_n_starts_simulation(self, protocol):
+        simulator = KnownSizeSimulator(protocol, population_size=3)
+        starter = KnownSizeState(phase=NAMING, p_initial="c", naming=NamingState(3, 3))
+        reactor = KnownSizeState(phase=NAMING, p_initial="p", naming=NamingState(2, 2))
+        after = simulator.f(starter, reactor)
+        assert after.phase == SIMULATING
+        assert after.sid.my_id == 2
+        assert after.sid.sim == "p"
+
+    def test_collision_that_reaches_n_uses_incremented_id(self, protocol):
+        simulator = KnownSizeSimulator(protocol, population_size=3)
+        starter = KnownSizeState(phase=NAMING, p_initial="c", naming=NamingState(2, 2))
+        reactor = KnownSizeState(phase=NAMING, p_initial="p", naming=NamingState(2, 2))
+        after = simulator.f(starter, reactor)
+        assert after.phase == SIMULATING
+        assert after.sid.my_id == 3
+
+    def test_simulating_starter_teaches_max_to_naming_reactor(self, protocol):
+        simulator = KnownSizeSimulator(protocol, population_size=3)
+        from repro.core.sid import SIDState
+
+        starter = KnownSizeState(
+            phase=SIMULATING, p_initial="c", sid=SIDState(my_id=3, sim="c")
+        )
+        reactor = simulator.initial_state("p")
+        after = simulator.f(starter, reactor)
+        assert after.phase == SIMULATING, "observing a named agent reveals max_id = n"
+
+    def test_naming_starter_does_not_advance_simulating_reactor(self, protocol):
+        simulator = KnownSizeSimulator(protocol, population_size=3)
+        from repro.core.sid import SIDState
+
+        starter = simulator.initial_state("c")
+        reactor = KnownSizeState(
+            phase=SIMULATING, p_initial="p", sid=SIDState(my_id=1, sim="p")
+        )
+        assert simulator.f(starter, reactor) == reactor
+
+
+class TestNamingConvergence:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_ids_become_unique_and_simulation_starts(self, protocol, n):
+        simulator = KnownSizeSimulator(protocol, population_size=n)
+        p_config = Configuration(["c"] * (n // 2) + ["p"] * (n - n // 2))
+        config = simulator.initial_configuration(p_config)
+        engine = SimulationEngine(simulator, IO, RandomScheduler(n, seed=n))
+        trace = engine.run(
+            config,
+            max_steps=40_000,
+            stop_condition=KnownSizeSimulator.naming_complete,
+        )
+        final = trace.final_configuration
+        assert KnownSizeSimulator.naming_complete(final)
+        ids = KnownSizeSimulator.assigned_ids(final)
+        assert sorted(ids) == list(range(1, n + 1)), "ids must be exactly 1..n"
+
+    def test_projection_preserved_through_naming(self, protocol):
+        n = 4
+        simulator = KnownSizeSimulator(protocol, population_size=n)
+        p_config = Configuration(["c", "c", "p", "p"])
+        config = simulator.initial_configuration(p_config)
+        engine = SimulationEngine(simulator, IO, RandomScheduler(n, seed=1))
+        trace = engine.run(
+            config, max_steps=20_000, stop_condition=KnownSizeSimulator.naming_complete
+        )
+        # No simulated interaction can complete before everyone is named, but
+        # some agents may have started simulating and begun pairing; the
+        # simulated *multiset* visible right after naming completes must still
+        # be reachable from the initial one.  In particular the number of
+        # critical consumers cannot exceed the number of producers.
+        projected = simulator.project_configuration(trace.final_configuration)
+        assert projected.count("cs") <= p_config.count("p")

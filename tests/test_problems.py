@@ -1,0 +1,150 @@
+"""Unit tests for the problem specifications."""
+
+import pytest
+
+from repro.problems.base import Problem
+from repro.problems.leader_election import LeaderElectionProblem
+from repro.problems.majority import MajorityProblem
+from repro.problems.pairing import PairingProblem
+from repro.problems.threshold import ThresholdProblem
+from repro.protocols.state import Configuration
+
+
+class TestPairingProblem:
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            PairingProblem(-1, 2)
+
+    def test_expected_critical(self):
+        assert PairingProblem(3, 5).expected_critical == 3
+        assert PairingProblem(5, 3).expected_critical == 3
+
+    def test_initial_configuration(self):
+        config = PairingProblem(2, 3).initial_configuration()
+        assert config.count("c") == 2
+        assert config.count("p") == 3
+
+    def test_safety_violation_detected(self):
+        problem = PairingProblem(consumers=3, producers=1)
+        bad = Configuration(["cs", "cs", "c", "bot"])
+        assert problem.check_configuration_safety(bad)
+
+    def test_safe_configuration_passes(self):
+        problem = PairingProblem(consumers=3, producers=2)
+        good = Configuration(["cs", "c", "c", "bot", "p"])
+        assert problem.check_configuration_safety(good) == []
+
+    def test_consumer_side_conservation(self):
+        problem = PairingProblem(consumers=1, producers=3)
+        bad = Configuration(["cs", "c", "p", "p"])  # 2 consumer-side agents but only 1 consumer
+        assert problem.check_configuration_safety(bad)
+
+    def test_irrevocability_detected_over_sequence(self):
+        problem = PairingProblem(consumers=1, producers=1)
+        configs = [
+            Configuration(["c", "p"]),
+            Configuration(["cs", "bot"]),
+            Configuration(["c", "bot"]),  # the critical agent reverted: violation
+        ]
+        report = problem.check(configs)
+        assert report.irrevocability_violations
+        assert not report.safe
+
+    def test_liveness(self):
+        problem = PairingProblem(consumers=2, producers=1)
+        assert problem.is_live(Configuration(["cs", "c", "bot"]))
+        assert not problem.is_live(Configuration(["c", "c", "p"]))
+
+    def test_full_check_on_good_execution(self):
+        problem = PairingProblem(consumers=1, producers=1)
+        configs = [Configuration(["c", "p"]), Configuration(["cs", "bot"])]
+        report = problem.check(configs)
+        assert report.ok
+        assert report.configurations_checked == 2
+        assert "pairing" in report.summary()
+
+    def test_helpers(self):
+        config = Configuration(["cs", "bot", "p"])
+        assert PairingProblem.critical_count(config) == 1
+        assert PairingProblem.spent_producers(config) == 1
+
+
+class TestLeaderElectionProblem:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LeaderElectionProblem(0)
+
+    def test_zero_leaders_is_a_safety_violation(self):
+        problem = LeaderElectionProblem(3)
+        assert problem.check_configuration_safety(Configuration(["F", "F", "F"]))
+
+    def test_liveness_single_leader(self):
+        problem = LeaderElectionProblem(3)
+        assert problem.is_live(Configuration(["L", "F", "F"]))
+        assert not problem.is_live(Configuration(["L", "L", "F"]))
+
+    def test_initial_configuration(self):
+        assert LeaderElectionProblem(4).initial_configuration().count("L") == 4
+
+
+class TestMajorityProblem:
+    def test_tie_rejected(self):
+        with pytest.raises(ValueError):
+            MajorityProblem(2, 2)
+
+    def test_expected_output(self):
+        assert MajorityProblem(3, 1).expected == "A"
+        assert MajorityProblem(1, 3).expected == "B"
+
+    def test_liveness(self):
+        problem = MajorityProblem(3, 1)
+        assert problem.is_live(Configuration(["A", "A", "A", "a"]))
+        assert not problem.is_live(Configuration(["A", "A", "B", "a"]))
+
+    def test_population_size_safety(self):
+        problem = MajorityProblem(2, 1)
+        assert problem.check_configuration_safety(Configuration(["A", "B"]))
+        assert problem.check_configuration_safety(Configuration(["A", "B", "A"])) == []
+
+    def test_initial_configuration(self):
+        assert MajorityProblem(2, 1).initial_configuration().count("A") == 2
+
+
+class TestThresholdProblem:
+    def test_expected_output(self):
+        assert ThresholdProblem(ones=3, zeros=2, threshold=3).expected is True
+        assert ThresholdProblem(ones=2, zeros=2, threshold=3).expected is False
+
+    def test_weight_conservation_safety(self):
+        problem = ThresholdProblem(ones=1, zeros=1, threshold=3)
+        bad = Configuration([(2, False), (1, False)])  # total weight 3 > 1 one-input
+        assert problem.check_configuration_safety(bad)
+
+    def test_false_positive_claims_are_safety_violations(self):
+        problem = ThresholdProblem(ones=1, zeros=2, threshold=3)
+        bad = Configuration([(0, True), (1, False), (0, False)])
+        assert problem.check_configuration_safety(bad)
+
+    def test_liveness(self):
+        problem = ThresholdProblem(ones=3, zeros=1, threshold=3)
+        live = Configuration([(0, True), (0, True), (3, True), (0, True)])
+        assert problem.is_live(live)
+
+    def test_initial_configuration(self):
+        config = ThresholdProblem(ones=2, zeros=1, threshold=3).initial_configuration()
+        assert len(config) == 3
+
+
+class TestProblemBase:
+    def test_is_live_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Problem().is_live(Configuration(["x"]))
+
+    def test_default_safety_is_empty(self):
+        assert Problem().check_configuration_safety(Configuration(["x"])) == []
+
+    def test_check_empty_sequence(self):
+        problem = PairingProblem(1, 1)
+        report = problem.check([])
+        assert report.configurations_checked == 0
+        assert not report.live

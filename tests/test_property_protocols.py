@@ -1,0 +1,103 @@
+"""Property-based tests for the protocol catalog (hypothesis).
+
+Each property is a protocol-level invariant that must hold for *every* pair
+of states, not just the ones unit tests happen to pick.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.protocols.catalog.averaging import AveragingProtocol
+from repro.protocols.catalog.counting import ModuloCountingProtocol, ThresholdProtocol
+from repro.protocols.catalog.leader_election import LEADER, LeaderElectionProtocol
+from repro.protocols.catalog.majority import A, B, ExactMajorityProtocol
+from repro.protocols.catalog.pairing import CRITICAL, PairingProtocol
+
+pairing = PairingProtocol()
+leader = LeaderElectionProtocol()
+majority = ExactMajorityProtocol()
+averaging = AveragingProtocol(max_value=10)
+threshold = ThresholdProtocol(threshold=4)
+modulo = ModuloCountingProtocol(modulus=4, target=2)
+
+pairing_states = st.sampled_from(sorted(pairing.states))
+leader_states = st.sampled_from(sorted(leader.states))
+majority_states = st.sampled_from(sorted(majority.states))
+averaging_states = st.sampled_from(sorted(averaging.states))
+threshold_states = st.sampled_from(sorted(threshold.states, key=repr))
+modulo_states = st.sampled_from(sorted(modulo.states, key=repr))
+
+
+class TestClosureProperties:
+    @given(pairing_states, pairing_states)
+    def test_pairing_closed(self, starter, reactor):
+        new_starter, new_reactor = pairing.delta(starter, reactor)
+        assert new_starter in pairing.states
+        assert new_reactor in pairing.states
+
+    @given(threshold_states, threshold_states)
+    def test_threshold_closed(self, starter, reactor):
+        new_starter, new_reactor = threshold.delta(starter, reactor)
+        assert new_starter in threshold.states
+        assert new_reactor in threshold.states
+
+    @given(modulo_states, modulo_states)
+    def test_modulo_closed(self, starter, reactor):
+        new_starter, new_reactor = modulo.delta(starter, reactor)
+        assert new_starter in modulo.states
+        assert new_reactor in modulo.states
+
+
+class TestConservationProperties:
+    @given(pairing_states, pairing_states)
+    def test_pairing_critical_plus_consumer_is_monotone_sound(self, starter, reactor):
+        """An interaction creates at most one new critical agent, and only by
+        consuming a producer."""
+        before = [starter, reactor]
+        after = list(pairing.delta(starter, reactor))
+        new_critical = after.count(CRITICAL) - before.count(CRITICAL)
+        consumed_producers = before.count("p") - after.count("p")
+        assert new_critical <= max(0, consumed_producers)
+
+    @given(leader_states, leader_states)
+    def test_leader_count_monotone_and_positive(self, starter, reactor):
+        before = [starter, reactor].count(LEADER)
+        after = list(leader.delta(starter, reactor)).count(LEADER)
+        assert after <= before
+        if before > 0:
+            assert after > 0
+
+    @given(majority_states, majority_states)
+    def test_majority_strong_balance_invariant(self, starter, reactor):
+        def balance(states):
+            return sum(1 for s in states if s == A) - sum(1 for s in states if s == B)
+
+        assert balance([starter, reactor]) == balance(majority.delta(starter, reactor))
+
+    @given(averaging_states, averaging_states)
+    def test_averaging_total_conserved_and_gap_shrinks(self, starter, reactor):
+        new_starter, new_reactor = averaging.delta(starter, reactor)
+        assert new_starter + new_reactor == starter + reactor
+        assert abs(new_starter - new_reactor) <= 1
+
+    @given(threshold_states, threshold_states)
+    def test_threshold_weight_never_created(self, starter, reactor):
+        new_starter, new_reactor = threshold.delta(starter, reactor)
+        assert new_starter[0] + new_reactor[0] <= starter[0] + reactor[0]
+
+    @given(threshold_states, threshold_states)
+    def test_threshold_flag_is_monotone(self, starter, reactor):
+        new_starter, new_reactor = threshold.delta(starter, reactor)
+        if starter[1] or reactor[1]:
+            assert new_starter[1] and new_reactor[1]
+
+    @given(modulo_states, modulo_states)
+    def test_modulo_collector_count_monotone(self, starter, reactor):
+        def collectors(states):
+            return sum(1 for kind, _ in states if kind == "collector")
+
+        before = collectors([starter, reactor])
+        after = collectors(modulo.delta(starter, reactor))
+        assert after <= before
+        if before > 0:
+            assert after > 0

@@ -1,0 +1,140 @@
+"""Property-based tests for SID and the naming protocol (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.naming import KnownSizeSimulator, SIMULATING
+from repro.core.sid import AVAILABLE, LOCKED, PAIRING, SIDSimulator
+from repro.core.verification import verify_simulation
+from repro.engine.engine import SimulationEngine
+from repro.interaction.models import IO
+from repro.protocols.catalog.pairing import PairingProtocol
+from repro.protocols.state import Configuration
+from repro.scheduling.runs import Interaction, Run
+
+protocol = PairingProtocol()
+
+
+@st.composite
+def io_scenario(draw):
+    n = draw(st.integers(min_value=2, max_value=5))
+    length = draw(st.integers(min_value=0, max_value=80))
+    pairs = draw(
+        st.lists(st.tuples(st.integers(0, 4), st.integers(0, 4)),
+                 min_size=length, max_size=length))
+    consumers = draw(st.integers(min_value=1, max_value=n - 1))
+    return n, pairs, consumers
+
+
+def build_run(pairs, n):
+    interactions = []
+    for starter, reactor in pairs:
+        starter, reactor = starter % n, reactor % n
+        if starter == reactor:
+            reactor = (reactor + 1) % n
+        interactions.append(Interaction(starter, reactor))
+    return Run(interactions)
+
+
+class TestSIDProperties:
+    @given(io_scenario())
+    @settings(max_examples=60, deadline=None)
+    def test_pairing_safety_always_holds(self, scenario):
+        n, pairs, consumers = scenario
+        simulator = SIDSimulator(protocol)
+        p_config = Configuration(["c"] * consumers + ["p"] * (n - consumers))
+        config = simulator.initial_configuration(p_config)
+        engine = SimulationEngine(simulator, IO, scheduler=None)
+        trace = engine.replay(config, build_run(pairs, n))
+        producers = n - consumers
+        for configuration in trace.projected_configurations(simulator.project):
+            assert configuration.count("cs") <= producers
+
+    @given(io_scenario())
+    @settings(max_examples=60, deadline=None)
+    def test_ids_never_change(self, scenario):
+        n, pairs, consumers = scenario
+        simulator = SIDSimulator(protocol)
+        p_config = Configuration(["c"] * consumers + ["p"] * (n - consumers))
+        config = simulator.initial_configuration(p_config)
+        engine = SimulationEngine(simulator, IO, scheduler=None)
+        trace = engine.replay(config, build_run(pairs, n))
+        for configuration in trace.configurations():
+            assert [state.my_id for state in configuration] == list(range(n))
+
+    @given(io_scenario())
+    @settings(max_examples=60, deadline=None)
+    def test_locked_agents_always_have_a_partner_pointing_back_or_done(self, scenario):
+        """A locked agent's partner is either still pairing with it (the
+        simulated interaction is in flight) or has already completed it."""
+        n, pairs, consumers = scenario
+        simulator = SIDSimulator(protocol)
+        p_config = Configuration(["c"] * consumers + ["p"] * (n - consumers))
+        config = simulator.initial_configuration(p_config)
+        engine = SimulationEngine(simulator, IO, scheduler=None)
+        trace = engine.replay(config, build_run(pairs, n))
+        for configuration in trace.configurations():
+            for state in configuration:
+                if state.phase == LOCKED:
+                    partner = configuration[state.id_other]
+                    assert partner.phase in (PAIRING, AVAILABLE, LOCKED)
+
+    @given(io_scenario())
+    @settings(max_examples=40, deadline=None)
+    def test_verification_reports_no_violation(self, scenario):
+        n, pairs, consumers = scenario
+        simulator = SIDSimulator(protocol)
+        p_config = Configuration(["c"] * consumers + ["p"] * (n - consumers))
+        config = simulator.initial_configuration(p_config)
+        engine = SimulationEngine(simulator, IO, scheduler=None)
+        trace = engine.replay(config, build_run(pairs, n))
+        report = verify_simulation(simulator, trace)
+        assert report.invalid_pairs == 0
+        assert report.derived_consistent, report.errors
+
+
+class TestNamingProperties:
+    @given(io_scenario())
+    @settings(max_examples=60, deadline=None)
+    def test_ids_are_monotone_and_bounded(self, scenario):
+        n, pairs, consumers = scenario
+        simulator = KnownSizeSimulator(protocol, population_size=n)
+        p_config = Configuration(["c"] * consumers + ["p"] * (n - consumers))
+        config = simulator.initial_configuration(p_config)
+        engine = SimulationEngine(simulator, IO, scheduler=None)
+        trace = engine.replay(config, build_run(pairs, n))
+        previous_ids = None
+        for configuration in trace.configurations():
+            ids = KnownSizeSimulator.assigned_ids(configuration)
+            assert all(1 <= agent_id <= n for agent_id in ids)
+            if previous_ids is not None:
+                assert all(new >= old for new, old in zip(ids, previous_ids))
+            previous_ids = ids
+
+    @given(io_scenario())
+    @settings(max_examples=60, deadline=None)
+    def test_simulating_agents_have_unique_ids(self, scenario):
+        """Agents that have started simulating never share an id."""
+        n, pairs, consumers = scenario
+        simulator = KnownSizeSimulator(protocol, population_size=n)
+        p_config = Configuration(["c"] * consumers + ["p"] * (n - consumers))
+        config = simulator.initial_configuration(p_config)
+        engine = SimulationEngine(simulator, IO, scheduler=None)
+        trace = engine.replay(config, build_run(pairs, n))
+        for configuration in trace.configurations():
+            simulating_ids = [
+                state.sid.my_id for state in configuration if state.phase == SIMULATING]
+            assert len(simulating_ids) == len(set(simulating_ids))
+
+    @given(io_scenario())
+    @settings(max_examples=40, deadline=None)
+    def test_pairing_safety_through_naming_and_simulation(self, scenario):
+        n, pairs, consumers = scenario
+        simulator = KnownSizeSimulator(protocol, population_size=n)
+        p_config = Configuration(["c"] * consumers + ["p"] * (n - consumers))
+        config = simulator.initial_configuration(p_config)
+        engine = SimulationEngine(simulator, IO, scheduler=None)
+        trace = engine.replay(config, build_run(pairs, n))
+        producers = n - consumers
+        for configuration in trace.projected_configurations(simulator.project):
+            assert configuration.count("cs") <= producers

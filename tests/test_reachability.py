@@ -1,0 +1,154 @@
+"""Unit tests for the exhaustive reachability analysis."""
+
+import pytest
+
+from repro.analysis.reachability import (
+    ReachabilityLimitError,
+    check_invariant,
+    check_stabilisation,
+    explore,
+)
+from repro.core.skno import SKnOSimulator
+from repro.core.sid import SIDSimulator
+from repro.core.trivial import TrivialTwoWaySimulator
+from repro.interaction.models import IO, TW, get_model
+from repro.protocols.catalog.leader_election import LEADER, LeaderElectionProtocol
+from repro.protocols.catalog.pairing import PairingProtocol
+from repro.protocols.catalog.predicates import OrProtocol
+from repro.protocols.state import Configuration
+
+
+class TestExplore:
+    def test_leader_election_reachable_set(self):
+        protocol = LeaderElectionProtocol()
+        program = TrivialTwoWaySimulator(protocol)
+        result = explore(program, TW, Configuration([LEADER] * 3))
+        # Reachable leader counts are 3, 2 and 1 over 3 agents; configurations
+        # are position-sensitive: LLL, and all placements of F with 1 or 2 Fs.
+        leader_counts = {config.count(LEADER) for config in result.configurations}
+        assert leader_counts == {1, 2, 3}
+        assert result.configuration_count == 1 + 3 + 3
+        assert not result.truncated
+
+    def test_omission_budget_enlarges_reachable_set(self):
+        protocol = PairingProtocol()
+        simulator = SKnOSimulator(protocol, omission_bound=1)
+        initial = Configuration([simulator.initial_state("p"), simulator.initial_state("c")])
+        without = explore(simulator, get_model("I3"), initial, omission_budget=0)
+        with_budget = explore(simulator, get_model("I3"), initial, omission_budget=1)
+        assert with_budget.configuration_count > without.configuration_count
+        assert without.configurations <= with_budget.configurations
+
+    def test_omission_budget_requires_omissive_model(self):
+        protocol = PairingProtocol()
+        program = TrivialTwoWaySimulator(protocol)
+        with pytest.raises(ValueError):
+            explore(program, TW, Configuration(["c", "p"]), omission_budget=1)
+
+    def test_limit_raises(self):
+        protocol = PairingProtocol()
+        simulator = SKnOSimulator(protocol, omission_bound=1)
+        initial = simulator.initial_configuration(Configuration(["c", "c", "p", "p"]))
+        with pytest.raises(ReachabilityLimitError):
+            explore(simulator, get_model("I3"), initial, max_configurations=10)
+
+    def test_limit_truncates_when_requested(self):
+        protocol = PairingProtocol()
+        simulator = SKnOSimulator(protocol, omission_bound=1)
+        initial = simulator.initial_configuration(Configuration(["c", "c", "p", "p"]))
+        result = explore(simulator, get_model("I3"), initial, max_configurations=10,
+                         on_error="truncate")
+        assert result.truncated
+        assert result.configuration_count <= 11
+
+
+class TestInvariants:
+    def test_pairing_safety_is_an_invariant_under_tw(self):
+        protocol = PairingProtocol()
+        program = TrivialTwoWaySimulator(protocol)
+        initial = Configuration(["c", "c", "p"])
+        report = check_invariant(
+            program, TW, initial,
+            invariant=lambda c: c.count("cs") <= 1,
+        )
+        assert report.holds
+        assert report.configurations_checked > 1
+
+    def test_pairing_safety_invariant_through_skno_with_omissions(self):
+        """Exhaustive check of Theorem 4.1's safety over ALL schedules, 2 agents, o=1."""
+        protocol = PairingProtocol()
+        simulator = SKnOSimulator(protocol, omission_bound=1)
+        initial = Configuration([simulator.initial_state("p"), simulator.initial_state("c")])
+        report = check_invariant(
+            simulator, get_model("I3"), initial,
+            invariant=lambda c: c.count("cs") <= 1,
+            omission_budget=1,
+            projection=simulator.project,
+        )
+        assert report.holds, report.counterexamples
+
+    def test_pairing_safety_invariant_through_sid_exhaustively(self):
+        protocol = PairingProtocol()
+        simulator = SIDSimulator(protocol)
+        initial = simulator.initial_configuration(Configuration(["p", "c", "c"]))
+        report = check_invariant(
+            simulator, IO, initial,
+            invariant=lambda c: c.count("cs") <= 1,
+            projection=simulator.project,
+        )
+        assert report.holds, report.counterexamples
+
+    def test_violated_invariant_is_reported_with_counterexamples(self):
+        protocol = PairingProtocol()
+        program = TrivialTwoWaySimulator(protocol)
+        initial = Configuration(["c", "p"])
+        report = check_invariant(
+            program, TW, initial,
+            invariant=lambda c: c.count("cs") == 0,  # false once the pairing happens
+        )
+        assert not report.holds
+        assert report.counterexamples
+
+
+class TestStabilisation:
+    def test_leader_election_stabilises_exhaustively(self):
+        protocol = LeaderElectionProtocol()
+        program = TrivialTwoWaySimulator(protocol)
+        report = check_stabilisation(
+            program, TW, Configuration([LEADER] * 4),
+            target=lambda c: c.count(LEADER) == 1,
+        )
+        assert report.stabilises
+        assert report.target_always_reachable
+        assert report.target_closed
+
+    def test_or_protocol_stabilises_exhaustively(self):
+        protocol = OrProtocol()
+        program = TrivialTwoWaySimulator(protocol)
+        report = check_stabilisation(
+            program, TW, Configuration([1, 0, 0, 0]),
+            target=lambda c: all(s == 1 for s in c),
+        )
+        assert report.stabilises
+
+    def test_pairing_through_skno_stabilises_exhaustively(self):
+        """Exhaustive liveness for the 2-agent SKnO system (no omissions)."""
+        protocol = PairingProtocol()
+        simulator = SKnOSimulator(protocol, omission_bound=0)
+        initial = Configuration([simulator.initial_state("p"), simulator.initial_state("c")])
+        report = check_stabilisation(
+            simulator, get_model("IT"), initial,
+            target=lambda c: c.count("cs") == 1,
+            projection=simulator.project,
+        )
+        assert report.stabilises, (report.unreachable_from, report.escapes_from)
+
+    def test_wrong_target_is_rejected(self):
+        protocol = LeaderElectionProtocol()
+        program = TrivialTwoWaySimulator(protocol)
+        report = check_stabilisation(
+            program, TW, Configuration([LEADER] * 3),
+            target=lambda c: c.count(LEADER) == 0,  # unreachable: leaders never vanish
+        )
+        assert not report.stabilises
+        assert report.unreachable_from

@@ -1,0 +1,182 @@
+"""Unit tests for the SID simulator (Figure 3 / Theorem 4.5)."""
+
+import pytest
+
+from repro.core.base import SimulatorError
+from repro.core.sid import AVAILABLE, LOCKED, PAIRING, SIDSimulator, SIDState
+from repro.interaction.models import IO
+from repro.protocols.catalog.pairing import PairingProtocol
+from repro.protocols.catalog.leader_election import LeaderElectionProtocol
+from repro.protocols.state import Configuration
+
+
+@pytest.fixture
+def protocol():
+    return PairingProtocol()
+
+
+@pytest.fixture
+def simulator(protocol):
+    return SIDSimulator(protocol)
+
+
+class TestConstruction:
+    def test_initial_state_requires_id(self, simulator):
+        with pytest.raises(SimulatorError):
+            simulator.initial_state("c")
+
+    def test_initial_state(self, simulator):
+        state = simulator.initial_state("c", agent_id=7)
+        assert state.my_id == 7
+        assert state.sim == "c"
+        assert state.phase == AVAILABLE
+        assert state.id_other is None
+
+    def test_initial_configuration_default_ids(self, simulator):
+        config = simulator.initial_configuration(Configuration(["c", "p", "c"]))
+        assert [state.my_id for state in config] == [0, 1, 2]
+
+    def test_initial_configuration_custom_ids(self, simulator):
+        config = simulator.initial_configuration(
+            Configuration(["c", "p"]), ids=["alpha", "beta"]
+        )
+        assert [state.my_id for state in config] == ["alpha", "beta"]
+
+    def test_initial_configuration_rejects_duplicate_ids(self, simulator):
+        with pytest.raises(SimulatorError):
+            simulator.initial_configuration(Configuration(["c", "p"]), ids=[1, 1])
+
+    def test_initial_configuration_rejects_wrong_id_count(self, simulator):
+        with pytest.raises(SimulatorError):
+            simulator.initial_configuration(Configuration(["c", "p"]), ids=[1])
+
+    def test_projection(self, simulator):
+        state = simulator.initial_state("p", agent_id=3)
+        assert simulator.project(state) == "p"
+
+    def test_io_compatibility(self, simulator):
+        assert "IO" in simulator.compatible_models
+
+
+class TestFigure3Rules:
+    """Each test checks one guarded rule of the Figure 3 pseudocode."""
+
+    def test_lines_3_5_available_pairs_with_available(self, simulator):
+        starter = SIDState(my_id=0, sim="p")
+        reactor = SIDState(my_id=1, sim="c")
+        after = simulator.f(starter, reactor)
+        assert after.phase == PAIRING
+        assert after.id_other == 0
+        assert after.state_other == "p"
+        assert after.sim == "c", "pairing does not change the simulated state"
+
+    def test_lines_6_9_lock_and_starter_side_transition(self, simulator):
+        # Agent 1 is pairing with agent 0 and recorded agent 0's state 'p'.
+        starter = SIDState(my_id=1, sim="c", phase=PAIRING, id_other=0, state_other="p")
+        reactor = SIDState(my_id=0, sim="p")
+        after = simulator.f(starter, reactor)
+        assert after.phase == LOCKED
+        assert after.sim == "bot"          # delta(p, c)[0]
+        assert after.id_other == 1
+        assert after.state_other == "c"
+
+    def test_lines_6_9_require_matching_snapshot(self, simulator):
+        """The lock must not happen if the recorded snapshot is stale."""
+        starter = SIDState(my_id=1, sim="c", phase=PAIRING, id_other=0, state_other="cs")
+        reactor = SIDState(my_id=0, sim="p")
+        after = simulator.f(starter, reactor)
+        assert after.phase == AVAILABLE
+        assert after.sim == "p"
+
+    def test_lines_6_9_require_correct_target_id(self, simulator):
+        starter = SIDState(my_id=1, sim="c", phase=PAIRING, id_other=9, state_other="p")
+        reactor = SIDState(my_id=0, sim="p")
+        after = simulator.f(starter, reactor)
+        assert after.phase == AVAILABLE
+
+    def test_lines_10_13_completion_and_reactor_side_transition(self, simulator):
+        # Agent 0 locked with agent 1 (it already performed delta(p,c)[0] = bot);
+        # agent 1, pairing with agent 0 and holding the snapshot 'p', completes.
+        starter = SIDState(my_id=0, sim="bot", phase=LOCKED, id_other=1, state_other="c")
+        reactor = SIDState(my_id=1, sim="c", phase=PAIRING, id_other=0, state_other="p")
+        after = simulator.f(starter, reactor)
+        assert after.phase == AVAILABLE
+        assert after.sim == "cs"           # delta(p, c)[1], from the saved snapshot
+        assert after.id_other is None
+        assert after.state_other is None
+
+    def test_lines_14_16_rollback_when_partner_moved_on(self, simulator):
+        # Agent 1 is pairing with agent 0, but agent 0 is now pairing with agent 2.
+        starter = SIDState(my_id=0, sim="p", phase=PAIRING, id_other=2, state_other="c")
+        reactor = SIDState(my_id=1, sim="c", phase=PAIRING, id_other=0, state_other="p")
+        after = simulator.f(starter, reactor)
+        assert after.phase == AVAILABLE
+        assert after.sim == "c", "rollback must not change the simulated state"
+
+    def test_lines_14_16_release_locked_agent_after_completion(self, simulator):
+        # Agent 0 is locked with agent 1; agent 1 already completed (available).
+        starter = SIDState(my_id=1, sim="cs")
+        reactor = SIDState(my_id=0, sim="bot", phase=LOCKED, id_other=1, state_other="c")
+        after = simulator.f(starter, reactor)
+        assert after.phase == AVAILABLE
+        assert after.sim == "bot"
+
+    def test_unrelated_observation_changes_nothing(self, simulator):
+        starter = SIDState(my_id=2, sim="p", phase=PAIRING, id_other=5, state_other="c")
+        reactor = SIDState(my_id=1, sim="c", phase=PAIRING, id_other=0, state_other="p")
+        assert simulator.f(starter, reactor) == reactor
+
+    def test_locked_agent_ignores_strangers(self, simulator):
+        starter = SIDState(my_id=7, sim="c")
+        reactor = SIDState(my_id=0, sim="bot", phase=LOCKED, id_other=1, state_other="c")
+        assert simulator.f(starter, reactor) == reactor
+
+    def test_starter_is_never_modified_by_io(self, simulator):
+        """Under IO the starter's state is untouched by construction of the model."""
+        starter = simulator.initial_state("p", agent_id=0)
+        reactor = simulator.initial_state("c", agent_id=1)
+        new_starter, _ = IO.apply(simulator, starter, reactor)
+        assert new_starter == starter
+
+
+class TestEndToEndTwoAgents:
+    def test_full_simulated_interaction_in_three_observations(self, simulator):
+        from repro.engine.engine import SimulationEngine
+        from repro.scheduling.runs import Run
+
+        config = simulator.initial_configuration(Configuration(["p", "c"]))
+        engine = SimulationEngine(simulator, IO, scheduler=None)
+        # (0,1): 1 pairs with 0; (1,0): 0 locks and does fs; (0,1): 1 completes fr.
+        trace = engine.replay(config, Run.from_pairs([(0, 1), (1, 0), (0, 1)]))
+        assert simulator.project_configuration(trace.final_configuration) == Configuration(
+            ["bot", "cs"]
+        )
+        matching = simulator.extract_matching(trace)
+        assert len(matching.pairs) == 1
+        assert matching.invalid_pairs(simulator.protocol) == []
+
+    def test_events_identify_partners(self, simulator):
+        from repro.engine.engine import SimulationEngine
+        from repro.scheduling.runs import Run
+
+        config = simulator.initial_configuration(Configuration(["p", "c"]))
+        engine = SimulationEngine(simulator, IO, scheduler=None)
+        trace = engine.replay(config, Run.from_pairs([(0, 1), (1, 0), (0, 1)]))
+        events = simulator.extract_events(trace)
+        assert len(events) == 2
+        lock, completion = events
+        assert lock.role == "starter" and lock.agent == 0 and lock.partner_agent == 1
+        assert completion.role == "reactor" and completion.agent == 1
+
+    def test_asymmetric_protocol_is_simulated_correctly(self):
+        """Leader election: the simulated roles matter, not the physical ones."""
+        from repro.engine.engine import SimulationEngine
+        from repro.scheduling.runs import Run
+
+        protocol = LeaderElectionProtocol()
+        simulator = SIDSimulator(protocol)
+        config = simulator.initial_configuration(Configuration(["L", "L"]))
+        engine = SimulationEngine(simulator, IO, scheduler=None)
+        trace = engine.replay(config, Run.from_pairs([(0, 1), (1, 0), (0, 1)]))
+        projected = simulator.project_configuration(trace.final_configuration)
+        assert projected.multiset() == {"L": 1, "F": 1}
