@@ -1,0 +1,182 @@
+"""Engine throughput: fast-path trace policies vs. the seed execution path.
+
+Measures interactions/second for populations n in {10^2, 10^3, 10^4} under
+the TW, I3 and IO interaction models, with and without an omission adversary
+(only I3 admits omissions among the three), across four execution paths:
+
+``legacy``
+    The seed engine loop: an immutable :class:`Configuration` threaded
+    through :meth:`Trace.record`, paying an O(n) tuple copy per interaction.
+``full``
+    The fast-path core recording a complete trace (per-step
+    :class:`TraceStep` allocation, O(1) buffer writes, one freeze at the end).
+``counts-only``
+    The fast-path core recording nothing per step.
+``ring``
+    The fast-path core keeping only the last 64 steps.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py --quick
+
+The headline number is the ``counts-only`` speedup over ``legacy`` at
+n=10^4, which must be at least 5x (it is typically far higher since the
+legacy path is O(n) per step).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional
+
+from repro.adversary.omission import UOAdversary
+from repro.analysis.reporting import format_table
+from repro.core.trivial import TrivialTwoWaySimulator
+from repro.engine.engine import SimulationEngine
+from repro.engine.trace import Trace
+from repro.interaction.models import get_model
+from repro.protocols.catalog.epidemic import (
+    INFORMED,
+    SUSCEPTIBLE,
+    EpidemicProtocol,
+    OneWayEpidemicProtocol,
+)
+from repro.protocols.state import Configuration
+from repro.scheduling.scheduler import RandomScheduler, SchedulerExhausted
+
+MODELS = ("TW", "I3", "IO")
+POLICIES = ("legacy", "full", "counts-only", "ring")
+
+
+def build_engine(model_name: str, n: int, seed: int, with_adversary: bool) -> SimulationEngine:
+    model = get_model(model_name)
+    if model.one_way:
+        program = OneWayEpidemicProtocol()
+    else:
+        program = TrivialTwoWaySimulator(EpidemicProtocol())
+    adversary = None
+    if with_adversary:
+        adversary = UOAdversary(model, rate=0.25, max_per_gap=3, seed=seed)
+    return SimulationEngine(program, model, RandomScheduler(n, seed=seed), adversary=adversary)
+
+
+def initial_configuration(n: int) -> Configuration:
+    return Configuration([INFORMED] + [SUSCEPTIBLE] * (n - 1))
+
+
+def run_legacy(engine: SimulationEngine, initial: Configuration, steps: int) -> float:
+    """The seed execution path, reproduced verbatim: O(n) copy per step."""
+    trace = Trace(initial)
+    configuration = initial
+    scheduler_step = 0
+    executed = 0
+    start = time.perf_counter()
+    while executed < steps:
+        try:
+            scheduled = engine.scheduler.next_interaction(scheduler_step)
+        except SchedulerExhausted:
+            break
+        scheduler_step += 1
+        batch = [scheduled]
+        if engine.adversary is not None:
+            injected = engine.adversary.interactions_before(
+                step=scheduler_step - 1, scheduled=scheduled, n=len(configuration))
+            batch = list(injected) + [scheduled]
+        for interaction in batch:
+            if executed >= steps:
+                break
+            starter_pre = configuration[interaction.starter]
+            reactor_pre = configuration[interaction.reactor]
+            starter_post, reactor_post = engine.model.apply(
+                engine.program, starter_pre, reactor_pre, interaction.omission)
+            trace.record(interaction, starter_post, reactor_post)
+            configuration = trace.final_configuration
+            executed += 1
+    return time.perf_counter() - start
+
+
+def run_fastpath(engine: SimulationEngine, initial: Configuration, steps: int,
+                 policy: str) -> float:
+    start = time.perf_counter()
+    engine.execute(initial, steps, trace_policy=policy, ring_size=64)
+    return time.perf_counter() - start
+
+
+def measure(model_name: str, n: int, steps: int, with_adversary: bool, seed: int = 0):
+    """One benchmark cell: interactions/sec per execution path."""
+    rates = {}
+    for policy in POLICIES:
+        engine = build_engine(model_name, n, seed, with_adversary)
+        initial = initial_configuration(n)
+        if policy == "legacy":
+            elapsed = run_legacy(engine, initial, steps)
+        else:
+            elapsed = run_fastpath(engine, initial, steps, policy)
+        rates[policy] = steps / elapsed if elapsed > 0 else float("inf")
+    return rates
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small populations and step counts (CI smoke test)")
+    parser.add_argument("--steps", type=int, default=None,
+                        help="interactions per measurement (default: scaled to n)")
+    parser.add_argument("--sizes", type=int, nargs="+", default=None,
+                        help="population sizes (default: 100 1000 10000)")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        sizes = args.sizes or [100, 1000]
+    else:
+        sizes = args.sizes or [100, 1000, 10_000]
+
+    rows = []
+    headline: Optional[float] = None
+    for model_name in MODELS:
+        adversary_options = [False]
+        if get_model(model_name).allows_omissions:
+            adversary_options.append(True)
+        for with_adversary in adversary_options:
+            for n in sizes:
+                if args.steps is not None:
+                    steps = args.steps
+                elif args.quick:
+                    steps = 2_000
+                else:
+                    steps = 20_000 if n >= 10_000 else 50_000
+                rates = measure(model_name, n, steps, with_adversary)
+                speedup = rates["counts-only"] / rates["legacy"]
+                if n == 10_000 and model_name == "TW":
+                    headline = speedup
+                rows.append([
+                    model_name,
+                    "yes" if with_adversary else "no",
+                    n,
+                    steps,
+                    f"{rates['legacy']:,.0f}",
+                    f"{rates['full']:,.0f}",
+                    f"{rates['counts-only']:,.0f}",
+                    f"{rates['ring']:,.0f}",
+                    f"{speedup:.1f}x",
+                ])
+
+    print(format_table(
+        ["model", "adversary", "n", "steps", "legacy it/s", "full it/s",
+         "counts-only it/s", "ring it/s", "counts-only vs legacy"],
+        rows,
+    ))
+    if headline is not None:
+        print()
+        print(f"headline: counts-only is {headline:.1f}x the seed path at n=10,000 (TW)")
+        if headline < 5.0:
+            print("FAIL: expected at least a 5x speedup at n=10,000", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,12 @@ from typing import Iterable, List, Optional, Sequence
 
 @dataclass(frozen=True)
 class SummaryStats:
-    """Summary statistics of a sample of non-negative measurements."""
+    """Summary statistics of a sample of non-negative measurements.
+
+    ``stdev`` is the *sample* standard deviation (Bessel-corrected, the
+    quantity benchmarks report as "sd"); it is 0.0 for samples of size 1,
+    where the sample deviation is undefined.
+    """
 
     count: int
     mean: float
@@ -37,7 +42,7 @@ def summarize_counts(values: Iterable[float]) -> Optional[SummaryStats]:
         median=statistics.median(data),
         minimum=min(data),
         maximum=max(data),
-        stdev=statistics.pstdev(data) if len(data) > 1 else 0.0,
+        stdev=statistics.stdev(data) if len(data) > 1 else 0.0,
     )
 
 

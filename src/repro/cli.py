@@ -43,6 +43,7 @@ from repro.core.trivial import TrivialTwoWaySimulator
 from repro.core.verification import verify_simulation
 from repro.engine.convergence import run_until_stable
 from repro.engine.engine import SimulationEngine
+from repro.engine.experiment import repeat_experiment
 from repro.interaction.adapters import one_way_as_two_way
 from repro.interaction.hierarchy import HIERARCHY_EDGES, topological_order
 from repro.interaction.models import MODELS_BY_NAME, get_model
@@ -150,20 +151,32 @@ def _command_run(args) -> int:
         raise SystemExit(
             "running a two-way protocol without a simulator requires --model TW; "
             "pick --simulator skno/sid/known-n for weaker models")
+    if args.omissions > 0 and not model.allows_omissions:
+        raise SystemExit(f"model {model.name} does not admit omissions")
+    if args.runs < 1:
+        raise SystemExit("--runs must be at least 1")
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be at least 1")
 
     config = simulator.initial_configuration(initial_projected)
+    predicate = _stable_predicate(simulator, protocol, initial_projected)
+
+    if args.runs > 1:
+        return _run_repeated(args, protocol, model, simulator, config, predicate)
+
     adversary = None
     if args.omissions > 0:
-        if not model.allows_omissions:
-            raise SystemExit(f"model {model.name} does not admit omissions")
         adversary = BoundedOmissionAdversary(model, max_omissions=args.omissions, seed=args.seed)
 
     engine = SimulationEngine(
         simulator, model, RandomScheduler(args.population, seed=args.seed), adversary=adversary)
-    predicate = _stable_predicate(simulator, protocol, initial_projected)
     outcome = run_until_stable(engine, config, predicate, max_steps=args.max_steps,
-                               stability_window=args.stability_window)
-    report = verify_simulation(simulator, outcome.trace)
+                               stability_window=args.stability_window,
+                               trace_policy=args.trace_policy)
+
+    report = None
+    if args.trace_policy == "full":
+        report = verify_simulation(simulator, outcome.trace)
 
     rows = [
         ["protocol", protocol.name],
@@ -173,16 +186,74 @@ def _command_run(args) -> int:
         ["converged", outcome.converged],
         ["interactions to stabilise", outcome.steps_to_convergence],
         ["interactions executed", outcome.steps_executed],
-        ["omissions", outcome.trace.omission_count()],
-        ["simulated pairs", report.matched_pairs],
-        ["verification", "OK" if report.ok else "VIOLATION"],
+        ["omissions", outcome.omissions],
+        ["simulated pairs", report.matched_pairs if report else "-"],
+        ["verification", ("OK" if report.ok else "VIOLATION") if report
+         else f"skipped ({args.trace_policy} trace)"],
     ]
     print(format_table(["quantity", "value"], rows))
-    if report.errors:
+    if report and report.errors:
         print()
         for error in report.errors[:5]:
             print("  !", error)
-    return 0 if (outcome.converged and report.ok) else 1
+    verified = report.ok if report else True
+    return 0 if (outcome.converged and verified) else 1
+
+
+def _run_repeated(args, protocol, model, simulator, config, predicate) -> int:
+    """``repro run --runs N [--jobs J]``: the parallel batch-experiment path."""
+    adversary_factory = None
+    if args.omissions > 0:
+        adversary_factory = lambda run_index: BoundedOmissionAdversary(
+            model, max_omissions=args.omissions, seed=args.seed + run_index)
+
+    validate = None
+    if args.trace_policy == "full":
+        def validate(outcome):
+            report = verify_simulation(simulator, outcome.trace)
+            if not report.ok:
+                return f"simulation verification: {report.errors[0]}" if report.errors \
+                    else "simulation verification violation"
+            return None
+
+    result = repeat_experiment(
+        simulator,
+        model,
+        config,
+        predicate,
+        runs=args.runs,
+        max_steps=args.max_steps,
+        stability_window=args.stability_window,
+        base_seed=args.seed,
+        adversary_factory=adversary_factory,
+        validate=validate,
+        jobs=args.jobs,
+        trace_policy=args.trace_policy,
+    )
+
+    mean = result.mean_convergence_steps
+    median = result.median_convergence_steps
+    rows = [
+        ["protocol", protocol.name],
+        ["model", model.name],
+        ["simulator", simulator.name],
+        ["population", args.population],
+        ["runs", result.runs],
+        ["jobs", args.jobs],
+        ["successes", f"{result.successes}/{result.runs}"],
+        ["success rate", f"{result.success_rate:.2f}"],
+        ["mean interactions to stabilise", f"{mean:.0f}" if mean is not None else "-"],
+        ["median interactions to stabilise", f"{median:.0f}" if median is not None else "-"],
+        ["max interactions to stabilise", result.max_convergence_steps
+         if result.max_convergence_steps is not None else "-"],
+        ["verification", "per-run" if validate else f"skipped ({args.trace_policy} trace)"],
+    ]
+    print(format_table(["quantity", "value"], rows))
+    if result.failures:
+        print()
+        for failure in result.failures[:5]:
+            print("  !", failure)
+    return 0 if result.all_succeeded else 1
 
 
 def _command_attack(args) -> int:
@@ -253,6 +324,16 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--max-steps", type=int, default=300_000)
     run_parser.add_argument("--stability-window", type=int, default=300)
     run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--runs", type=int, default=1,
+                            help="repeat the run with seeds seed..seed+runs-1 "
+                                 "and report aggregate convergence statistics")
+    run_parser.add_argument("--jobs", type=int, default=1,
+                            help="worker threads for --runs > 1 (deterministic merge)")
+    run_parser.add_argument("--trace-policy", choices=("full", "counts-only", "ring"),
+                            default="full",
+                            help="full: record every step and verify the simulation; "
+                                 "counts-only: fast path, skips verification; "
+                                 "ring: keep only the last steps")
     run_parser.set_defaults(handler=_command_run)
 
     attack_parser = subparsers.add_parser("attack", help="execute an impossibility construction")

@@ -242,12 +242,17 @@ class DerivedRunReport:
     steps_replayed: int
     final_configuration: Optional[Configuration]
     errors: List[str] = field(default_factory=list)
+    #: Matched pairs whose pre-states were only reachable through an
+    #: in-flight (unmatched, changed) event: they are realisable in an
+    #: extension of the prefix but cannot be ordered within it yet.
+    deferred_pairs: int = 0
 
 
 def replay_derived_run_anonymous(
     protocol: PopulationProtocol,
     initial_p_configuration: Configuration,
     derived: Sequence[DerivedStep],
+    in_flight_events: Optional[Sequence[Tuple[State, State]]] = None,
 ) -> DerivedRunReport:
     """Replay a derived run at the multiset level (anonymous agents).
 
@@ -260,9 +265,29 @@ def replay_derived_run_anonymous(
     multiset of simulated states contains the two required pre-states: one
     can then always pick a consistent assignment of events to (interchangeable)
     agents.  This function checks exactly that.
+
+    ``in_flight_events`` lists the ``(pre_sim, post_sim)`` updates of
+    *unmatched changed* events: simulated updates whose partner half has not
+    completed within the finite prefix.  A matched pair may legitimately
+    depend on such a post-state (e.g. a silent ``(bot, p)`` interaction
+    whose ``bot`` agent was produced by a still-in-flight
+    ``(c, p) -> (cs, bot)`` interaction); ordering it inside the prefix is
+    impossible, but it is realisable in an extension where the in-flight
+    interaction completes.  Such pairs are counted as ``deferred_pairs``
+    instead of being flagged as hard violations.  Consuming an in-flight
+    post-state also consumes the agent behind it: the event's pre-state is
+    debited from the present multiset (one agent can never supply both its
+    stale pre-state and its in-flight post-state), and a deferred pair's
+    own post-states join the pool as equally pending effects.  With no
+    in-flight events the replay is exact, as before.
     """
     counts = dict(initial_p_configuration.multiset())
+    # Each pool entry is [pre_or_None, post]; a ``None`` pre means the state
+    # needs no further debit (it is the pending effect of a deferred pair
+    # whose pre-states were already consumed).
+    pool: List[list] = [[pre, post] for pre, post in (in_flight_events or ())]
     errors: List[str] = []
+    deferred = 0
 
     def take(state: State) -> bool:
         if counts.get(state, 0) <= 0:
@@ -273,6 +298,21 @@ def replay_derived_run_anonymous(
     def put(state: State) -> None:
         counts[state] = counts.get(state, 0) + 1
 
+    def take_in_flight(state: State):
+        """Consume a pool entry with post-state ``state``; returns it or None."""
+        for position, entry in enumerate(pool):
+            pre, post = entry
+            if post != state:
+                continue
+            if pre is None or take(pre):
+                return pool.pop(position)
+        return None
+
+    def restore(entry) -> None:
+        if entry[0] is not None:
+            put(entry[0])
+        pool.append(entry)
+
     for index, step in enumerate(derived):
         expected_post = protocol.delta(step.starter_pre, step.reactor_pre)
         if expected_post != (step.starter_post, step.reactor_post):
@@ -282,21 +322,37 @@ def replay_derived_run_anonymous(
                 f"{(step.starter_post, step.reactor_post)!r}"
             )
             continue
+        # Take each pre-state from the present multiset if possible, falling
+        # back to the in-flight pool (which marks the pair as deferred).
+        starter_entry = None
         if not take(step.starter_pre):
-            errors.append(
-                f"derived step {index}: no agent in simulated state "
-                f"{step.starter_pre!r} is available"
-            )
-            continue
+            starter_entry = take_in_flight(step.starter_pre)
+            if starter_entry is None:
+                errors.append(
+                    f"derived step {index}: no agent in simulated state "
+                    f"{step.starter_pre!r} is available"
+                )
+                continue
+        reactor_entry = None
         if not take(step.reactor_pre):
-            put(step.starter_pre)
-            errors.append(
-                f"derived step {index}: no agent in simulated state "
-                f"{step.reactor_pre!r} is available"
-            )
-            continue
-        put(step.starter_post)
-        put(step.reactor_post)
+            reactor_entry = take_in_flight(step.reactor_pre)
+            if reactor_entry is None:
+                if starter_entry is not None:
+                    restore(starter_entry)
+                else:
+                    put(step.starter_pre)
+                errors.append(
+                    f"derived step {index}: no agent in simulated state "
+                    f"{step.reactor_pre!r} is available"
+                )
+                continue
+        if starter_entry is not None or reactor_entry is not None:
+            deferred += 1
+            pool.append([None, step.starter_post])
+            pool.append([None, step.reactor_post])
+        else:
+            put(step.starter_post)
+            put(step.reactor_post)
 
     final = Configuration.from_counts({state: c for state, c in counts.items() if c > 0})
     return DerivedRunReport(
@@ -304,6 +360,7 @@ def replay_derived_run_anonymous(
         steps_replayed=len(derived),
         final_configuration=final if not errors else None,
         errors=errors,
+        deferred_pairs=deferred,
     )
 
 

@@ -51,6 +51,10 @@ class SimulationReport:
     derived_steps: int
     errors: List[str] = field(default_factory=list)
     final_simulated_configuration: Optional[Configuration] = None
+    #: Matched pairs that could not be ordered within the finite prefix
+    #: because a pre-state is only produced by a still-in-flight event (a
+    #: soft, prefix-bounded observation — not a violation).
+    deferred_pairs: int = 0
 
     @property
     def ok(self) -> bool:
@@ -85,7 +89,17 @@ def verify_simulation(simulator: TwoWaySimulator, trace: Trace) -> SimulationRep
     # simulators that know partner identities (SID, Nn+SID, the trivial TW
     # wrapper) are held to the stronger agent-indexed replay.
     if getattr(simulator, "anonymous_matching", False):
-        replay = replay_derived_run_anonymous(protocol, initial_p, derived)
+        # In-flight (unmatched, changed) updates: a matched pair may depend
+        # on their post-states, in which case it is deferred rather than
+        # flagged — it orders after the in-flight interaction completes in
+        # an extension of this finite prefix.
+        in_flight_events = [
+            (matching.events[i].pre_sim, matching.events[i].post_sim)
+            for i in matching.changed_unmatched_events()
+        ]
+        replay = replay_derived_run_anonymous(
+            protocol, initial_p, derived, in_flight_events=in_flight_events
+        )
     else:
         replay = replay_derived_run(protocol, initial_p, derived)
 
@@ -128,4 +142,5 @@ def verify_simulation(simulator: TwoWaySimulator, trace: Trace) -> SimulationRep
         derived_steps=replay.steps_replayed,
         errors=errors,
         final_simulated_configuration=replay.final_configuration,
+        deferred_pairs=replay.deferred_pairs,
     )

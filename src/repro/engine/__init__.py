@@ -7,6 +7,13 @@ protocol, or a simulator from :mod:`repro.core`), an *interaction model*
 :mod:`repro.adversary`), and produces an execution :class:`Trace` that
 records every interaction together with the state changes it caused.
 
+All entry points (:meth:`SimulationEngine.run`,
+:meth:`SimulationEngine.replay`, :func:`run_until_stable`) are thin
+wrappers over the shared fast-path step loop in
+:mod:`repro.engine.fastpath`, which mutates an array-backed run buffer in
+place and supports selectable trace policies (``full``, ``counts-only``,
+``ring``) plus incremental convergence predicates.
+
 Traces are the raw material of all analyses in the library: simulation
 verification (events / matchings / derived runs), problem checkers
 (safety/liveness), fairness diagnostics and the benchmark harness.
@@ -14,6 +21,20 @@ verification (events / matchings / derived runs), problem checkers
 
 from repro.engine.trace import Trace, TraceStep
 from repro.engine.engine import SimulationEngine, EngineError
+from repro.engine.fastpath import (
+    TRACE_POLICIES,
+    AgentCountPredicate,
+    CountsOnlyRecorder,
+    FullRecorder,
+    IncrementalPredicate,
+    PredicateAdapter,
+    RingRecorder,
+    RunResult,
+    as_incremental,
+    incremental_stable_output,
+    make_recorder,
+    run_core,
+)
 from repro.engine.convergence import (
     ConvergenceResult,
     run_until_stable,
@@ -26,6 +47,18 @@ __all__ = [
     "TraceStep",
     "SimulationEngine",
     "EngineError",
+    "TRACE_POLICIES",
+    "AgentCountPredicate",
+    "CountsOnlyRecorder",
+    "FullRecorder",
+    "IncrementalPredicate",
+    "PredicateAdapter",
+    "RingRecorder",
+    "RunResult",
+    "as_incremental",
+    "incremental_stable_output",
+    "make_recorder",
+    "run_core",
     "ConvergenceResult",
     "run_until_stable",
     "stable_output_condition",

@@ -3,20 +3,29 @@
 Population protocols compute by *stabilisation*: the outputs of all agents
 eventually stop changing and agree with the value being computed.  Because
 our executions are finite prefixes, convergence is detected empirically: we
-run the engine in chunks and declare convergence once a user-supplied
-predicate has held over a sliding window of consecutive configurations (the
-window guards against predicates that hold transiently on the way to the
-true fixed point).
+drive the shared fast-path step loop (:mod:`repro.engine.fastpath`) and
+declare convergence once a predicate has held over a sliding window of
+consecutive configurations (the window guards against predicates that hold
+transiently on the way to the true fixed point).
+
+Predicates come in two flavours:
+
+* a plain callable on configurations (the seed API) — re-evaluated against
+  the live run buffer after every interaction, an O(n) rescan per step;
+* an :class:`~repro.engine.fastpath.IncrementalPredicate` — primed once on
+  the initial configuration and then fed per-step
+  ``(agent, old_state, new_state)`` deltas, an O(1) check per step.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Tuple
 
 from repro.engine.engine import SimulationEngine
-from repro.engine.trace import Trace
-from repro.protocols.state import Configuration
+from repro.engine.fastpath import as_incremental, make_recorder, run_core
+from repro.engine.trace import Trace, TraceStep
+from repro.protocols.state import Configuration, MutableConfiguration
 
 
 @dataclass
@@ -26,11 +35,20 @@ class ConvergenceResult:
     converged: bool
     steps_executed: int
     steps_to_convergence: Optional[int]
-    trace: Trace
+    trace: Optional[Trace]
+    final: Optional[Configuration] = None
+    omissions: int = 0
+    #: Trailing window of steps under the ``ring`` trace policy (empty otherwise;
+    #: under ``full`` the complete step list lives on ``trace``).
+    last_steps: Tuple[TraceStep, ...] = field(default=())
+
+    def __post_init__(self):
+        if self.final is None and self.trace is not None:
+            self.final = self.trace.final_configuration
 
     @property
     def final_configuration(self) -> Configuration:
-        return self.trace.final_configuration
+        return self.final
 
 
 def stable_output_condition(
@@ -42,6 +60,10 @@ def stable_output_condition(
     (e.g. a simulator's ``project``), states are projected before the output
     map is applied — this is how simulated protocols' outputs are read out of
     simulator configurations.
+
+    For long runs prefer the delta-driven equivalent,
+    :func:`repro.engine.fastpath.incremental_stable_output`, which avoids
+    rescanning all n agents on every interaction.
     """
 
     def predicate(configuration: Configuration) -> bool:
@@ -57,16 +79,22 @@ def stable_output_condition(
 def run_until_stable(
     engine: SimulationEngine,
     initial_configuration: Configuration,
-    predicate: Callable[[Configuration], bool],
+    predicate: Any,
     max_steps: int = 100_000,
     stability_window: int = 0,
+    *,
+    trace_policy: str = "full",
+    ring_size: Optional[int] = None,
 ) -> ConvergenceResult:
     """Run until ``predicate`` holds for ``stability_window + 1`` consecutive configurations.
 
     Parameters
     ----------
     predicate:
-        Evaluated after every executed interaction.
+        Either a plain callable on configurations (evaluated against the
+        live run buffer after every executed interaction) or an
+        :class:`~repro.engine.fastpath.IncrementalPredicate` consuming
+        per-step deltas.
     max_steps:
         Hard cap on the number of executed interactions.
     stability_window:
@@ -75,6 +103,11 @@ def run_until_stable(
         of 0 stops at the first satisfying configuration; protocols whose
         predicate can hold transiently should use a window of a few hundred
         interactions.
+    trace_policy:
+        ``"full"`` (default) records every step and returns a complete
+        :class:`Trace`; ``"counts-only"`` records nothing per step (the
+        result's ``trace`` is ``None``) and is the fast path for large
+        populations; ``"ring"`` keeps only the last ``ring_size`` steps.
 
     Notes
     -----
@@ -83,72 +116,64 @@ def run_until_stable(
     configuration of the final stable streak) can be smaller than
     ``steps_executed``.
     """
-    consecutive = 0
-    first_of_streak: Optional[int] = None
+    recorder = make_recorder(trace_policy, ring_size)
+    buffer = MutableConfiguration(initial_configuration)
+    incremental = as_incremental(predicate)
 
-    if predicate(initial_configuration):
-        consecutive = 1
-        first_of_streak = 0
+    consecutive = 1 if incremental.reset(buffer) else 0
+    first_of_streak: Optional[int] = 0 if consecutive else None
+    target = stability_window + 1
 
-    # We drive the engine one interaction at a time through stop conditions
-    # so the predicate sees every intermediate configuration.
-    steps_done = 0
-    trace = Trace(initial_configuration)
+    if consecutive >= target:
+        return ConvergenceResult(
+            converged=True,
+            steps_executed=0,
+            steps_to_convergence=first_of_streak,
+            trace=recorder.build_trace(initial_configuration, initial_configuration),
+            final=initial_configuration,
+            omissions=0,
+            last_steps=recorder.last_steps(),
+        )
 
-    scheduler_step = 0
-    configuration = initial_configuration
-    while steps_done < max_steps:
-        if consecutive >= stability_window + 1:
-            return ConvergenceResult(
-                converged=True,
-                steps_executed=steps_done,
-                steps_to_convergence=first_of_streak,
-                trace=trace,
-            )
-        try:
-            scheduled = engine.scheduler.next_interaction(scheduler_step)
-        except Exception as exc:  # SchedulerExhausted is the only expected case
-            from repro.scheduling.scheduler import SchedulerExhausted
+    progress = {"consecutive": consecutive, "first": first_of_streak, "steps": 0}
+    wants_deltas = getattr(incremental, "consumes_deltas", True)
 
-            if isinstance(exc, SchedulerExhausted):
-                break
-            raise
-        scheduler_step += 1
+    def on_step(interaction, starter_pre, starter_post, reactor_pre, reactor_post) -> bool:
+        progress["steps"] += 1
+        deltas = ()
+        if wants_deltas:
+            if starter_pre != starter_post:
+                deltas = ((interaction.starter, starter_pre, starter_post),)
+            if reactor_pre != reactor_post:
+                deltas += ((interaction.reactor, reactor_pre, reactor_post),)
+        if incremental.update(deltas):
+            if progress["consecutive"] == 0:
+                progress["first"] = progress["steps"]
+            progress["consecutive"] += 1
+        else:
+            progress["consecutive"] = 0
+            progress["first"] = None
+        return progress["consecutive"] >= target
 
-        interactions = []
-        if engine.adversary is not None:
-            interactions.extend(
-                engine.adversary.interactions_before(
-                    step=scheduler_step - 1, scheduled=scheduled, n=len(configuration)
-                )
-            )
-        interactions.append(scheduled)
+    steps_done, _stopped = run_core(
+        engine.program,
+        engine.model,
+        engine.scheduler,
+        engine.adversary,
+        buffer,
+        recorder,
+        max_steps,
+        on_step=on_step,
+    )
 
-        for interaction in interactions:
-            if steps_done >= max_steps:
-                break
-            starter_pre = configuration[interaction.starter]
-            reactor_pre = configuration[interaction.reactor]
-            starter_post, reactor_post = engine.model.apply(
-                engine.program, starter_pre, reactor_pre, interaction.omission
-            )
-            trace.record(interaction, starter_post, reactor_post)
-            configuration = trace.final_configuration
-            steps_done += 1
-            if predicate(configuration):
-                if consecutive == 0:
-                    first_of_streak = steps_done
-                consecutive += 1
-                if consecutive >= stability_window + 1:
-                    break
-            else:
-                consecutive = 0
-                first_of_streak = None
-
-    converged = consecutive >= stability_window + 1
+    final = buffer.freeze()
+    converged = progress["consecutive"] >= target
     return ConvergenceResult(
         converged=converged,
         steps_executed=steps_done,
-        steps_to_convergence=first_of_streak if converged else None,
-        trace=trace,
+        steps_to_convergence=progress["first"] if converged else None,
+        trace=recorder.build_trace(initial_configuration, final),
+        final=final,
+        omissions=recorder.omissions,
+        last_steps=recorder.last_steps(),
     )

@@ -6,21 +6,23 @@ adversary inject omissive interactions between scheduled ones, exactly as
 the adversaries of Definitions 1 and 2 rewrite runs.
 
 The engine is deliberately small: all protocol semantics live in the
-interaction model (:mod:`repro.interaction.models`) and all policy lives in
-the scheduler/adversary, so the engine itself is just the loop that threads
-a configuration through a sequence of interactions while recording a trace.
+interaction model (:mod:`repro.interaction.models`), all policy lives in
+the scheduler/adversary, and the step loop itself lives in the shared
+fast-path core (:mod:`repro.engine.fastpath`).  :meth:`SimulationEngine.run`
+and :meth:`SimulationEngine.replay` are thin wrappers over that core, as is
+:func:`repro.engine.convergence.run_until_stable`.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterable, Optional
 
-from repro.interaction.models import InteractionModel, ModelError
-from repro.interaction.omissions import NO_OMISSION
-from repro.protocols.state import Configuration
-from repro.scheduling.runs import Interaction
-from repro.scheduling.scheduler import Scheduler, SchedulerExhausted
+from repro.engine.fastpath import RunResult, make_recorder, run_core
 from repro.engine.trace import Trace
+from repro.interaction.models import InteractionModel
+from repro.protocols.state import Configuration, MutableConfiguration
+from repro.scheduling.runs import Interaction, Run
+from repro.scheduling.scheduler import Scheduler, ScriptedScheduler
 
 
 class EngineError(Exception):
@@ -81,81 +83,102 @@ class SimulationEngine:
 
     # -- full runs ----------------------------------------------------------------------------
 
-    def run(
+    def execute(
         self,
         initial_configuration: Configuration,
         max_steps: int,
-        stop_condition: Optional[Callable[[Configuration], bool]] = None,
-    ) -> Trace:
-        """Execute up to ``max_steps`` interactions and return the trace.
+        stop_condition: Optional[Callable[[Any], bool]] = None,
+        *,
+        trace_policy: str = "full",
+        ring_size: Optional[int] = None,
+    ) -> RunResult:
+        """Execute up to ``max_steps`` interactions under a selectable trace policy.
 
-        ``stop_condition`` is evaluated on the configuration after every
-        executed interaction; when it returns ``True`` the run stops early.
-        Every executed interaction (scheduled or adversary-injected) counts
+        This is the general fast-path entry point; :meth:`run` is the
+        backwards-compatible wrapper that always records a full trace.
+
+        ``stop_condition`` is evaluated on the live run buffer (a
+        :class:`~repro.protocols.state.MutableConfiguration` mirroring the
+        :class:`Configuration` read API — it is not hashable and is aliased
+        across steps, so freeze it before storing) after every executed
+        interaction; when it returns ``True`` the run stops early.  Every
+        executed interaction (scheduled or adversary-injected) counts
         towards ``max_steps``.
+
+        Budget semantics: a scheduled interaction is drawn only while budget
+        remains and, once drawn, always executes; adversary injections that
+        would leave it no budget are discarded.  A stop condition firing
+        mid-batch skips the rest of that batch.  See
+        :mod:`repro.engine.fastpath` for the full contract.
         """
         if max_steps < 0:
             raise EngineError("max_steps must be non-negative")
         if len(initial_configuration) < 2 and max_steps > 0:
             raise EngineError("a population of fewer than two agents cannot interact")
 
-        trace = Trace(initial_configuration)
-        configuration = initial_configuration
-        scheduler_step = 0
-        executed = 0
+        recorder = make_recorder(trace_policy, ring_size)
+        buffer = MutableConfiguration(initial_configuration)
+        on_step = None
+        if stop_condition is not None:
+            on_step = lambda *_step: stop_condition(buffer)  # noqa: E731
 
-        while executed < max_steps:
-            try:
-                scheduled = self.scheduler.next_interaction(scheduler_step)
-            except SchedulerExhausted:
-                break
-            scheduler_step += 1
+        executed, stopped = run_core(
+            self.program,
+            self.model,
+            self.scheduler,
+            self.adversary,
+            buffer,
+            recorder,
+            max_steps,
+            on_step=on_step,
+        )
+        final = buffer.freeze()
+        return RunResult(
+            policy=recorder.policy,
+            steps=executed,
+            omissions=recorder.omissions,
+            final_configuration=final,
+            trace=recorder.build_trace(initial_configuration, final),
+            last_steps=recorder.last_steps(),
+            stopped=stopped,
+        )
 
-            to_execute = []
-            if self.adversary is not None:
-                injected = self.adversary.interactions_before(
-                    step=scheduler_step - 1,
-                    scheduled=scheduled,
-                    n=len(configuration),
-                )
-                to_execute.extend(injected)
-            to_execute.append(scheduled)
+    def run(
+        self,
+        initial_configuration: Configuration,
+        max_steps: int,
+        stop_condition: Optional[Callable[[Any], bool]] = None,
+    ) -> Trace:
+        """Execute up to ``max_steps`` interactions and return the full trace.
 
-            stop = False
-            for interaction in to_execute:
-                if executed >= max_steps:
-                    break
-                starter_pre = configuration[interaction.starter]
-                reactor_pre = configuration[interaction.reactor]
-                starter_post, reactor_post = self.model.apply(
-                    self.program, starter_pre, reactor_pre, interaction.omission
-                )
-                trace.record(interaction, starter_post, reactor_post)
-                configuration = trace.final_configuration
-                executed += 1
-                if stop_condition is not None and stop_condition(configuration):
-                    stop = True
-                    break
-            if stop:
-                break
+        Equivalent to ``execute(..., trace_policy="full").trace``; see
+        :meth:`execute` for the stop-condition and budget semantics.  Note
+        that ``stop_condition`` receives the *live run buffer* (a
+        :class:`~repro.protocols.state.MutableConfiguration` mirroring the
+        ``Configuration`` read API), valid only for the duration of the
+        call — freeze it before storing.
+        """
+        return self.execute(
+            initial_configuration, max_steps, stop_condition, trace_policy="full"
+        ).trace
 
-        return trace
-
-    def replay(self, initial_configuration: Configuration, run) -> Trace:
+    def replay(self, initial_configuration: Configuration, run: Iterable[Interaction]) -> Trace:
         """Execute an explicit run (sequence of interactions) and return the trace.
 
         The scheduler and adversary are bypassed: the given interactions,
         including their omission flags, are executed verbatim.  This is how
         the scripted attack constructions of Section 3 are evaluated.
         """
-        trace = Trace(initial_configuration)
-        configuration = initial_configuration
-        for interaction in run:
-            starter_pre = configuration[interaction.starter]
-            reactor_pre = configuration[interaction.reactor]
-            starter_post, reactor_post = self.model.apply(
-                self.program, starter_pre, reactor_pre, interaction.omission
-            )
-            trace.record(interaction, starter_post, reactor_post)
-            configuration = trace.final_configuration
-        return trace
+        interactions = run if isinstance(run, Run) else Run(run)
+        recorder = make_recorder("full")
+        buffer = MutableConfiguration(initial_configuration)
+        run_core(
+            self.program,
+            self.model,
+            ScriptedScheduler(interactions),
+            None,
+            buffer,
+            recorder,
+            max_steps=len(interactions),
+        )
+        return recorder.build_trace(initial_configuration, buffer.freeze())

@@ -10,11 +10,14 @@ declarative.
 from __future__ import annotations
 
 import statistics
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional
 
 from repro.engine.convergence import ConvergenceResult, run_until_stable
 from repro.engine.engine import SimulationEngine
+from repro.engine.fastpath import IncrementalPredicate
 from repro.interaction.models import InteractionModel
 from repro.protocols.state import Configuration
 from repro.scheduling.scheduler import RandomScheduler
@@ -73,21 +76,26 @@ def repeat_experiment(
     program: Any,
     model: InteractionModel,
     initial_configuration: Configuration,
-    predicate: Callable[[Configuration], bool],
+    predicate: Any,
     runs: int = 10,
     max_steps: int = 100_000,
     stability_window: int = 0,
     base_seed: int = 0,
     adversary_factory: Optional[Callable[[int], Any]] = None,
     validate: Optional[Callable[[ConvergenceResult], Optional[str]]] = None,
+    jobs: int = 1,
+    trace_policy: Optional[str] = None,
+    predicate_factory: Optional[Callable[[int], Any]] = None,
 ) -> ExperimentResult:
     """Run the same system ``runs`` times with different scheduler seeds.
 
     Parameters
     ----------
     predicate:
-        Convergence predicate on configurations; a run "succeeds" when the
-        predicate stabilises within ``max_steps`` interactions.
+        Convergence predicate on configurations (plain callable or
+        :class:`~repro.engine.fastpath.IncrementalPredicate`); a run
+        "succeeds" when the predicate stabilises within ``max_steps``
+        interactions.
     adversary_factory:
         Optional callable mapping the run index to a fresh adversary
         instance (adversaries are stateful, so each run needs its own).
@@ -96,20 +104,60 @@ def repeat_experiment(
         :class:`ConvergenceResult`; it returns ``None`` when the run is
         acceptable, or an error string which marks the run as failed (used
         e.g. to verify the simulation matching on top of convergence).
+    jobs:
+        Number of worker threads for the per-seed fan-out.  Runs are
+        dispatched via :class:`concurrent.futures.ThreadPoolExecutor` and
+        merged back in run-index order, so the aggregate result is
+        deterministic and identical to the sequential one.  ``program`` and
+        ``model`` are shared across workers and must be stateless (all
+        catalog protocols and simulators are); schedulers and adversaries
+        are per-run.
+    trace_policy:
+        Trace policy forwarded to :func:`run_until_stable`.  Defaults to
+        ``"counts-only"`` (the fast path — the aggregate only needs counts)
+        unless ``validate`` is given, in which case the full trace is
+        recorded so validators can inspect it.
+    predicate_factory:
+        Optional callable mapping the run index to a fresh predicate;
+        required instead of ``predicate`` when using a *stateful*
+        incremental predicate with ``jobs > 1``.
     """
-    result = ExperimentResult(runs=0, successes=0)
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
+    if jobs > 1 and predicate_factory is None and isinstance(predicate, IncrementalPredicate):
+        raise ValueError(
+            "incremental predicates are stateful; pass predicate_factory "
+            "instead of a shared predicate when jobs > 1"
+        )
+    if validate is not None and trace_policy not in (None, "full"):
+        raise ValueError(
+            "validate inspects the full trace; it cannot be combined with "
+            f"trace_policy={trace_policy!r}"
+        )
+    policy = trace_policy if trace_policy is not None else (
+        "full" if validate is not None else "counts-only"
+    )
     n = len(initial_configuration)
-    for run_index in range(runs):
+
+    def execute_run(run_index: int) -> ConvergenceResult:
         scheduler = RandomScheduler(n, seed=base_seed + run_index)
         adversary = adversary_factory(run_index) if adversary_factory else None
         engine = SimulationEngine(program, model, scheduler, adversary=adversary)
-        outcome = run_until_stable(
+        run_predicate = (
+            predicate_factory(run_index) if predicate_factory is not None else predicate
+        )
+        return run_until_stable(
             engine,
             initial_configuration,
-            predicate,
+            run_predicate,
             max_steps=max_steps,
             stability_window=stability_window,
+            trace_policy=policy,
         )
+
+    result = ExperimentResult(runs=0, successes=0)
+
+    def merge(run_index: int, outcome: ConvergenceResult) -> None:
         result.runs += 1
         failure: Optional[str] = None
         if not outcome.converged:
@@ -124,4 +172,26 @@ def repeat_experiment(
                 result.convergence_steps.append(outcome.steps_to_convergence)
         else:
             result.failures.append(failure)
+
+    # Merge outcomes in submission order as they stream in, keeping at most
+    # a small window of runs outstanding: with full traces, materialising
+    # every ConvergenceResult (or letting completed futures pile up behind a
+    # slow early run) would hold up to runs x max_steps steps in memory.
+    if jobs > 1 and runs > 1:
+        workers = min(jobs, runs)
+        window = 2 * workers
+        with ThreadPoolExecutor(max_workers=workers) as executor:
+            pending: deque = deque()
+            merged = 0
+            for run_index in range(runs):
+                pending.append(executor.submit(execute_run, run_index))
+                if len(pending) >= window:
+                    merge(merged, pending.popleft().result())
+                    merged += 1
+            while pending:
+                merge(merged, pending.popleft().result())
+                merged += 1
+    else:
+        for run_index in range(runs):
+            merge(run_index, execute_run(run_index))
     return result

@@ -52,6 +52,28 @@ class Trace:
         self._steps: List[TraceStep] = []
         self._current = initial
 
+    @classmethod
+    def from_steps(
+        cls,
+        initial: Configuration,
+        steps: Sequence[TraceStep],
+        final: Configuration,
+    ) -> "Trace":
+        """Build a trace from already-recorded steps without replaying them.
+
+        This is the freeze boundary of the fast-path execution core
+        (:mod:`repro.engine.fastpath`): the core records
+        :class:`TraceStep` deltas while mutating an array-backed buffer in
+        place, then hands the step list and the frozen final configuration
+        over in one O(T) call instead of paying an O(n) configuration copy
+        per recorded step.  ``final`` must be the configuration reached by
+        applying ``steps`` to ``initial`` in order.
+        """
+        trace = cls(initial)
+        trace._steps = list(steps)
+        trace._current = final
+        return trace
+
     # -- construction (used by the engine) ----------------------------------------------
 
     def record(

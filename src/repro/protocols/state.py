@@ -36,11 +36,12 @@ class Configuration:
         ``0 .. n-1``.
     """
 
-    __slots__ = ("_states", "_hash")
+    __slots__ = ("_states", "_hash", "_multiset")
 
     def __init__(self, states: Iterable[State]):
         self._states: Tuple[State, ...] = tuple(states)
         self._hash = None
+        self._multiset = None
 
     # -- basic container protocol -------------------------------------------------
 
@@ -75,13 +76,24 @@ class Configuration:
         """The underlying tuple of states."""
         return self._states
 
+    def _cached_multiset(self) -> Counter:
+        """The lazily built state Counter; callers must not mutate it."""
+        if self._multiset is None:
+            self._multiset = Counter(self._states)
+        return self._multiset
+
     def multiset(self) -> Counter:
-        """The multiset of states (anonymous view of the configuration)."""
-        return Counter(self._states)
+        """The multiset of states (anonymous view of the configuration).
+
+        The Counter is built once per configuration and cached (configurations
+        are immutable); each call returns a fresh copy, so mutating the result
+        cannot corrupt the cache.
+        """
+        return Counter(self._cached_multiset())
 
     def count(self, state: State) -> int:
         """Number of agents currently in ``state``."""
-        return sum(1 for s in self._states if s == state)
+        return self._cached_multiset()[state]
 
     def count_if(self, predicate: Callable[[State], bool]) -> int:
         """Number of agents whose state satisfies ``predicate``."""
@@ -93,7 +105,7 @@ class Configuration:
 
     def histogram(self) -> Dict[State, int]:
         """A plain ``dict`` mapping each present state to its multiplicity."""
-        return dict(self.multiset())
+        return dict(self._cached_multiset())
 
     # -- functional updates ----------------------------------------------------------
 
@@ -140,7 +152,7 @@ class Configuration:
 
     def same_multiset(self, other: "Configuration") -> bool:
         """``True`` when the two configurations are equal up to agent permutation."""
-        return self.multiset() == other.multiset()
+        return self._cached_multiset() == other._cached_multiset()
 
     # -- constructors ---------------------------------------------------------------
 
@@ -165,3 +177,118 @@ class Configuration:
                 raise ValueError(f"negative multiplicity for state {state!r}")
             states.extend([state] * count)
         return cls(states)
+
+
+class MutableConfiguration:
+    """An array-backed, mutable run buffer over agent states.
+
+    The immutable :class:`Configuration` pays an O(n) tuple copy per applied
+    interaction, which makes a T-step run O(n·T).  The execution core of
+    :mod:`repro.engine.fastpath` instead threads a single
+    ``MutableConfiguration`` through the whole run: applying an interaction
+    is two O(1) in-place list writes, and an immutable :class:`Configuration`
+    is only materialised at explicit freeze points (trace construction,
+    convergence records, hashing for reachability).
+
+    The read API mirrors :class:`Configuration` (``len``, iteration,
+    indexing, ``count``, ``multiset``, ``project``, ...) so configuration
+    predicates written against the immutable class also accept the live
+    buffer.  Unlike :class:`Configuration`, instances are unhashable and any
+    view of the buffer is only valid until the next mutation.
+    """
+
+    __slots__ = ("_states",)
+
+    def __init__(self, states: Iterable[State]):
+        self._states: list = list(states)
+
+    @classmethod
+    def from_configuration(cls, configuration: "Configuration") -> "MutableConfiguration":
+        """A mutable copy of an immutable configuration."""
+        return cls(configuration.states)
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __iter__(self) -> Iterator[State]:
+        return iter(self._states)
+
+    def __getitem__(self, index: int) -> State:
+        return self._states[index]
+
+    def __setitem__(self, index: int, new_state: State) -> None:
+        self._states[index] = new_state
+
+    __hash__ = None  # mutable buffers must not be used as dict keys
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, MutableConfiguration):
+            return self._states == other._states
+        if isinstance(other, Configuration):
+            return tuple(self._states) == other.states
+        if isinstance(other, tuple):
+            return tuple(self._states) == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"MutableConfiguration({self._states!r})"
+
+    # -- mutation -----------------------------------------------------------
+
+    def apply_interaction(
+        self, starter: int, reactor: int, new_starter: State, new_reactor: State
+    ) -> None:
+        """Apply the outcome of an interaction in place (O(1))."""
+        if starter == reactor:
+            raise ValueError("an agent cannot interact with itself")
+        states = self._states
+        states[starter] = new_starter
+        states[reactor] = new_reactor
+
+    # -- freeze boundary ----------------------------------------------------
+
+    def freeze(self) -> Configuration:
+        """An immutable snapshot of the current buffer contents."""
+        return Configuration(self._states)
+
+    # -- read API mirroring Configuration ------------------------------------
+
+    @property
+    def states(self) -> Tuple[State, ...]:
+        """A tuple snapshot of the current states."""
+        return tuple(self._states)
+
+    def _cached_multiset(self) -> Counter:
+        # No caching is possible on a mutable buffer; the method only exists
+        # so Configuration.same_multiset accepts either class.
+        return Counter(self._states)
+
+    def multiset(self) -> Counter:
+        """The multiset of states currently in the buffer."""
+        return Counter(self._states)
+
+    def count(self, state: State) -> int:
+        """Number of agents currently in ``state``."""
+        return sum(1 for s in self._states if s == state)
+
+    def count_if(self, predicate: Callable[[State], bool]) -> int:
+        """Number of agents whose state satisfies ``predicate``."""
+        return sum(1 for s in self._states if predicate(s))
+
+    def indices_of(self, state: State) -> Tuple[int, ...]:
+        """Indices of the agents currently in ``state``."""
+        return tuple(i for i, s in enumerate(self._states) if s == state)
+
+    def histogram(self) -> Dict[State, int]:
+        """A plain ``dict`` mapping each present state to its multiplicity."""
+        return dict(Counter(self._states))
+
+    def project(self, projection: Callable[[State], State]) -> Configuration:
+        """An immutable snapshot with ``projection`` applied to every state."""
+        return Configuration(projection(s) for s in self._states)
+
+    def same_multiset(self, other: Any) -> bool:
+        """``True`` when equal to ``other`` up to agent permutation."""
+        return Counter(self._states) == other._cached_multiset()

@@ -1,5 +1,7 @@
 """Unit tests for the analysis helpers: results map, reporting and statistics."""
 
+import statistics
+
 import pytest
 
 from repro.analysis.reporting import format_results_map, format_table
@@ -100,6 +102,16 @@ class TestStatistics:
 
     def test_summarize_empty(self):
         assert summarize_counts([]) is None
+
+    def test_stdev_is_sample_standard_deviation(self):
+        stats = summarize_counts([1, 2, 3, 4])
+        assert stats.stdev == pytest.approx(statistics.stdev([1, 2, 3, 4]))
+        assert stats.stdev > statistics.pstdev([1, 2, 3, 4])
+
+    def test_stdev_of_single_measurement_is_zero(self):
+        stats = summarize_counts([7])
+        assert stats.count == 1
+        assert stats.stdev == 0.0
 
     def test_growth_ratio(self):
         assert growth_ratio([1, 2, 4, 8]) == pytest.approx(2.0)

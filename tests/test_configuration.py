@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.protocols.state import Configuration, state_multiset
+from repro.protocols.state import Configuration, MutableConfiguration, state_multiset
 
 
 class TestConstruction:
@@ -97,6 +97,22 @@ class TestViews:
         assert Configuration(["a", "b"]).same_multiset(Configuration(["b", "a"]))
         assert not Configuration(["a", "a"]).same_multiset(Configuration(["a", "b"]))
 
+    def test_mutating_returned_multiset_does_not_corrupt_cache(self):
+        config = Configuration(["a", "b", "a"])
+        first = config.multiset()
+        first["a"] = 99
+        del first["b"]
+        assert config.multiset() == {"a": 2, "b": 1}
+        assert config.count("a") == 2
+        assert config.count("b") == 1
+        assert config.histogram() == {"a": 2, "b": 1}
+
+    def test_mutating_returned_histogram_does_not_corrupt_cache(self):
+        config = Configuration(["a", "a", "b"])
+        config.histogram()["a"] = 0
+        assert config.histogram() == {"a": 2, "b": 1}
+        assert config.count("a") == 2
+
 
 class TestFunctionalUpdates:
     def test_replace(self):
@@ -142,3 +158,51 @@ class TestFunctionalUpdates:
     def test_permutation_preserves_multiset(self):
         config = Configuration(["a", "b", "c"])
         assert config.permuted([1, 2, 0]).same_multiset(config)
+
+
+class TestMutableConfiguration:
+    def test_round_trip_through_freeze(self):
+        config = Configuration(["a", "b", "c"])
+        buffer = MutableConfiguration.from_configuration(config)
+        assert len(buffer) == 3
+        assert list(buffer) == ["a", "b", "c"]
+        assert buffer.freeze() == config
+
+    def test_apply_interaction_is_in_place(self):
+        buffer = MutableConfiguration(["a", "b", "c"])
+        buffer.apply_interaction(0, 2, "x", "y")
+        assert buffer[0] == "x"
+        assert buffer[2] == "y"
+        assert buffer.freeze() == Configuration(["x", "b", "y"])
+
+    def test_apply_interaction_same_agent_raises(self):
+        with pytest.raises(ValueError):
+            MutableConfiguration(["a", "b"]).apply_interaction(0, 0, "x", "y")
+
+    def test_freeze_is_a_snapshot(self):
+        buffer = MutableConfiguration(["a", "b"])
+        frozen = buffer.freeze()
+        buffer[0] = "z"
+        assert frozen == Configuration(["a", "b"])
+        assert buffer.freeze() == Configuration(["z", "b"])
+
+    def test_read_api_mirrors_configuration(self):
+        buffer = MutableConfiguration(["a", "b", "a"])
+        assert buffer.count("a") == 2
+        assert buffer.count_if(lambda s: s == "b") == 1
+        assert buffer.multiset() == {"a": 2, "b": 1}
+        assert buffer.histogram() == {"a": 2, "b": 1}
+        assert buffer.indices_of("a") == (0, 2)
+        assert buffer.project(str.upper) == Configuration(["A", "B", "A"])
+        assert buffer.same_multiset(Configuration(["b", "a", "a"]))
+
+    def test_equality_with_configuration_and_tuple(self):
+        buffer = MutableConfiguration(["a", "b"])
+        assert buffer == Configuration(["a", "b"])
+        assert buffer == ("a", "b")
+        assert buffer == MutableConfiguration(["a", "b"])
+        assert buffer != MutableConfiguration(["b", "a"])
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(MutableConfiguration(["a", "b"]))

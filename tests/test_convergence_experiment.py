@@ -6,6 +6,7 @@ from repro.core.trivial import TrivialTwoWaySimulator
 from repro.engine.convergence import run_until_stable, stable_output_condition
 from repro.engine.engine import SimulationEngine
 from repro.engine.experiment import repeat_experiment
+from repro.engine.fastpath import AgentCountPredicate
 from repro.interaction.models import TW
 from repro.protocols.catalog.leader_election import LEADER, LeaderElectionProtocol
 from repro.protocols.catalog.majority import A, B, ExactMajorityProtocol
@@ -165,3 +166,146 @@ class TestRepeatExperiment:
         )
         assert result.runs == 0
         assert result.success_rate == 0.0
+
+
+class TestSchedulerErrorPropagation:
+    class ExplodingScheduler(ScriptedScheduler):
+        def __init__(self, run, fail_at):
+            super().__init__(run)
+            self.fail_at = fail_at
+
+        def next_interaction(self, step):
+            if step >= self.fail_at:
+                raise ValueError("real scheduler bug")
+            return super().next_interaction(step)
+
+    def test_run_until_stable_propagates_real_scheduler_errors(self):
+        # Regression: the seed loop caught bare Exception around the
+        # scheduler draw; a ValueError must escape untouched, not be
+        # swallowed as exhaustion or re-wrapped.
+        protocol = LeaderElectionProtocol()
+        engine = SimulationEngine(
+            TrivialTwoWaySimulator(protocol),
+            TW,
+            self.ExplodingScheduler(Run.from_pairs([(0, 1), (1, 2)]), fail_at=1),
+        )
+        with pytest.raises(ValueError, match="real scheduler bug"):
+            run_until_stable(
+                engine,
+                Configuration([LEADER] * 3),
+                predicate=lambda c: False,
+                max_steps=100,
+            )
+
+
+class TestRunUntilStableTracePolicies:
+    def _engine(self, seed=11):
+        protocol = LeaderElectionProtocol()
+        return SimulationEngine(
+            TrivialTwoWaySimulator(protocol), TW, RandomScheduler(6, seed=seed)
+        )
+
+    def test_counts_only_matches_full(self):
+        full = run_until_stable(
+            self._engine(),
+            Configuration([LEADER] * 6),
+            predicate=lambda c: c.count(LEADER) == 1,
+            max_steps=10_000,
+            stability_window=20,
+        )
+        counts = run_until_stable(
+            self._engine(),
+            Configuration([LEADER] * 6),
+            predicate=lambda c: c.count(LEADER) == 1,
+            max_steps=10_000,
+            stability_window=20,
+            trace_policy="counts-only",
+        )
+        assert counts.trace is None
+        assert counts.converged == full.converged
+        assert counts.steps_executed == full.steps_executed
+        assert counts.steps_to_convergence == full.steps_to_convergence
+        assert counts.final_configuration == full.final_configuration
+        assert counts.omissions == full.omissions
+
+    def test_incremental_predicate_matches_plain_predicate(self):
+        plain = run_until_stable(
+            self._engine(),
+            Configuration([LEADER] * 6),
+            predicate=lambda c: c.count(LEADER) == 1,
+            max_steps=10_000,
+            stability_window=10,
+        )
+        incremental = run_until_stable(
+            self._engine(),
+            Configuration([LEADER] * 6),
+            predicate=AgentCountPredicate(lambda s: s == LEADER, target=1),
+            max_steps=10_000,
+            stability_window=10,
+        )
+        assert incremental.converged == plain.converged
+        assert incremental.steps_executed == plain.steps_executed
+        assert incremental.steps_to_convergence == plain.steps_to_convergence
+        assert incremental.final_configuration == plain.final_configuration
+
+
+class TestParallelRepeatExperiment:
+    def _workload(self, jobs, runs=6):
+        protocol = ExactMajorityProtocol()
+        program = TrivialTwoWaySimulator(protocol)
+        initial = protocol.initial_configuration(5, 2)
+        return repeat_experiment(
+            program,
+            TW,
+            initial,
+            predicate=lambda c: all(protocol.output(s) == A for s in c),
+            runs=runs,
+            max_steps=20_000,
+            base_seed=42,
+            jobs=jobs,
+        )
+
+    def test_parallel_merge_is_deterministic(self):
+        sequential = self._workload(jobs=1)
+        parallel = self._workload(jobs=4)
+        assert parallel.runs == sequential.runs
+        assert parallel.successes == sequential.successes
+        assert parallel.convergence_steps == sequential.convergence_steps
+        assert parallel.failures == sequential.failures
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            self._workload(jobs=0)
+
+    def test_shared_incremental_predicate_rejected_in_parallel(self):
+        protocol = ExactMajorityProtocol()
+        program = TrivialTwoWaySimulator(protocol)
+        initial = protocol.initial_configuration(5, 2)
+        with pytest.raises(ValueError, match="predicate_factory"):
+            repeat_experiment(
+                program,
+                TW,
+                initial,
+                predicate=AgentCountPredicate(lambda s: protocol.output(s) == A),
+                runs=4,
+                jobs=2,
+            )
+
+    def test_parallel_incremental_predicates_via_factory(self):
+        protocol = ExactMajorityProtocol()
+        program = TrivialTwoWaySimulator(protocol)
+        initial = protocol.initial_configuration(5, 2)
+        result = repeat_experiment(
+            program,
+            TW,
+            initial,
+            predicate=None,
+            predicate_factory=lambda run_index: AgentCountPredicate(
+                lambda s: protocol.output(s) == A
+            ),
+            runs=4,
+            max_steps=20_000,
+            base_seed=42,
+            jobs=2,
+        )
+        assert result.all_succeeded

@@ -158,3 +158,119 @@ class TestReplay:
         # The omissive observation does not inform agent 1; the second one does.
         assert trace.configuration_at(1) == Configuration([INFORMED, SUSCEPTIBLE])
         assert trace.final_configuration == Configuration([INFORMED, INFORMED])
+
+
+class FailingScheduler(RoundRobinScheduler):
+    """Raises a real (non-exhaustion) error after ``fail_at`` draws."""
+
+    def __init__(self, n, fail_at):
+        super().__init__(n)
+        self.fail_at = fail_at
+
+    def next_interaction(self, step):
+        if step >= self.fail_at:
+            raise ValueError("scheduler backend exploded")
+        return super().next_interaction(step)
+
+
+class TestSchedulerErrorPropagation:
+    """Real scheduler errors must not be swallowed or re-wrapped as exhaustion."""
+
+    def test_run_propagates_scheduler_errors(self):
+        engine = SimulationEngine(
+            TrivialTwoWaySimulator(EpidemicProtocol()), TW, FailingScheduler(3, fail_at=2)
+        )
+        with pytest.raises(ValueError, match="scheduler backend exploded"):
+            engine.run(Configuration([INFORMED, SUSCEPTIBLE, SUSCEPTIBLE]), max_steps=10)
+
+
+class TestBudgetSemantics:
+    """max_steps accounting when the budget lands mid-injection-batch."""
+
+    class FloodingAdversary:
+        """Injects three omissive interactions before every scheduled one."""
+
+        def interactions_before(self, step, scheduled, n):
+            return [Interaction(0, 1, omission=REACTOR_OMISSION) for _ in range(3)]
+
+    def test_trace_when_budget_lands_mid_injection_batch(self):
+        # Budget 2, adversary wants 3 injections before the first scheduled
+        # interaction: one injection survives (the scheduled interaction has
+        # one budget unit reserved), then the scheduled interaction executes.
+        engine = SimulationEngine(
+            OneWayEpidemicProtocol(),
+            get_model("I1"),
+            RoundRobinScheduler(3),
+            adversary=self.FloodingAdversary(),
+        )
+        trace = engine.run(Configuration([INFORMED, SUSCEPTIBLE, SUSCEPTIBLE]), max_steps=2)
+        assert len(trace) == 2
+        interactions = [step.interaction for step in trace]
+        assert interactions[0] == Interaction(0, 1, omission=REACTOR_OMISSION)
+        assert interactions[1] == Interaction(0, 1)  # the scheduled round-robin pair
+        assert trace.omission_count() == 1
+
+    def test_drawn_scheduled_interaction_always_executes(self):
+        # Whatever the adversary floods, the last executed interaction of a
+        # budget-bounded run is never an injection that starved a drawn
+        # scheduled interaction.
+        engine = SimulationEngine(
+            OneWayEpidemicProtocol(),
+            get_model("I1"),
+            RoundRobinScheduler(3),
+            adversary=self.FloodingAdversary(),
+        )
+        for budget in (1, 2, 3, 4, 5):
+            engine_fresh = SimulationEngine(
+                OneWayEpidemicProtocol(),
+                get_model("I1"),
+                RoundRobinScheduler(3),
+                adversary=self.FloodingAdversary(),
+            )
+            trace = engine_fresh.run(
+                Configuration([INFORMED, SUSCEPTIBLE, SUSCEPTIBLE]), max_steps=budget
+            )
+            assert len(trace) == budget
+            assert not trace[-1].interaction.is_omissive
+
+
+class TestTracePolicies:
+    def test_counts_only_matches_full(self):
+        def build_engine():
+            return SimulationEngine(
+                TrivialTwoWaySimulator(LeaderElectionProtocol()),
+                TW,
+                RandomScheduler(6, seed=9),
+            )
+
+        full = build_engine().execute(Configuration([LEADER] * 6), max_steps=500)
+        counts = build_engine().execute(
+            Configuration([LEADER] * 6), max_steps=500, trace_policy="counts-only"
+        )
+        assert counts.trace is None
+        assert counts.steps == full.steps == len(full.trace)
+        assert counts.omissions == full.omissions
+        assert counts.final_configuration == full.final_configuration
+
+    def test_ring_keeps_last_k_steps_with_global_indices(self):
+        engine = SimulationEngine(
+            TrivialTwoWaySimulator(LeaderElectionProtocol()),
+            TW,
+            RandomScheduler(5, seed=4),
+        )
+        result = engine.execute(
+            Configuration([LEADER] * 5), max_steps=100, trace_policy="ring", ring_size=8
+        )
+        assert result.trace is None
+        assert len(result.last_steps) == 8
+        assert [step.index for step in result.last_steps] == list(range(92, 100))
+        assert result.steps == 100
+
+    def test_unknown_policy_rejected(self):
+        engine = SimulationEngine(
+            TrivialTwoWaySimulator(LeaderElectionProtocol()),
+            TW,
+            RandomScheduler(5, seed=4),
+        )
+        with pytest.raises(ValueError):
+            engine.execute(Configuration([LEADER] * 5), max_steps=10, trace_policy="bogus")

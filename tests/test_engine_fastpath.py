@@ -1,0 +1,258 @@
+"""Property-based equivalence: fast-path core vs. a legacy reference executor.
+
+The fast-path core (:mod:`repro.engine.fastpath`) mutates an array-backed
+buffer in place and defers trace construction to the freeze boundary.  This
+suite pins its semantics against an independent reference implementation
+written the way the seed engine worked — an immutable
+:class:`Configuration` threaded through :meth:`Trace.record`, one O(n) copy
+per step — over random catalog protocols × interaction models × seeds,
+including adversary-injected runs.
+
+Final configurations, per-step trace contents, omission counts and
+convergence step counts must all be identical.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.omission import BoundedOmissionAdversary, UOAdversary
+from repro.core.trivial import TrivialTwoWaySimulator
+from repro.engine.convergence import run_until_stable
+from repro.engine.engine import SimulationEngine
+from repro.engine.fastpath import AgentCountPredicate
+from repro.engine.trace import Trace
+from repro.interaction.models import TW, get_model
+from repro.protocols.catalog.epidemic import (
+    INFORMED,
+    SUSCEPTIBLE,
+    EpidemicProtocol,
+    OneWayEpidemicProtocol,
+)
+from repro.protocols.catalog.leader_election import LEADER, LeaderElectionProtocol
+from repro.protocols.catalog.majority import A, ExactMajorityProtocol
+from repro.protocols.state import Configuration
+from repro.scheduling.scheduler import RandomScheduler, SchedulerExhausted
+
+
+# ---------------------------------------------------------------------------
+# reference implementation (seed-style: immutable configurations, Trace.record)
+# ---------------------------------------------------------------------------
+
+
+def legacy_execute(program, model, scheduler, adversary, initial, max_steps,
+                   predicate=None, stability_window=0):
+    """Seed-style executor: O(n) immutable configuration copy per step.
+
+    Implements the documented budget semantics (a drawn scheduled
+    interaction always executes; surplus injections are discarded) and the
+    seed's convergence-streak accounting, entirely independently of
+    ``repro.engine.fastpath``.
+    """
+    trace = Trace(initial)
+    configuration = initial
+    scheduler_step = 0
+    executed = 0
+    consecutive = 0
+    first_of_streak = None
+    target = stability_window + 1
+
+    if predicate is not None and predicate(initial):
+        consecutive = 1
+        first_of_streak = 0
+
+    while executed < max_steps and consecutive < target:
+        try:
+            scheduled = scheduler.next_interaction(scheduler_step)
+        except SchedulerExhausted:
+            break
+        scheduler_step += 1
+
+        batch = [scheduled]
+        if adversary is not None:
+            injected = adversary.interactions_before(
+                step=scheduler_step - 1, scheduled=scheduled, n=len(configuration))
+            batch = list(injected[: max_steps - executed - 1]) + [scheduled]
+
+        for interaction in batch:
+            starter_pre = configuration[interaction.starter]
+            reactor_pre = configuration[interaction.reactor]
+            starter_post, reactor_post = model.apply(
+                program, starter_pre, reactor_pre, interaction.omission)
+            trace.record(interaction, starter_post, reactor_post)
+            configuration = trace.final_configuration
+            executed += 1
+            if predicate is not None:
+                if predicate(configuration):
+                    if consecutive == 0:
+                        first_of_streak = executed
+                    consecutive += 1
+                    if consecutive >= target:
+                        break
+                else:
+                    consecutive = 0
+                    first_of_streak = None
+
+    converged = consecutive >= target
+    return {
+        "trace": trace,
+        "final": trace.final_configuration,
+        "steps": executed,
+        "omissions": trace.omission_count(),
+        "converged": converged,
+        "steps_to_convergence": first_of_streak if converged else None,
+    }
+
+
+# ---------------------------------------------------------------------------
+# random system builders
+# ---------------------------------------------------------------------------
+
+
+def _tw_epidemic(n, seed):
+    program = TrivialTwoWaySimulator(EpidemicProtocol())
+    initial = Configuration([INFORMED] + [SUSCEPTIBLE] * (n - 1))
+    predicate = AgentCountPredicate(lambda s: s == INFORMED)
+    return program, TW, initial, None, predicate
+
+
+def _tw_leader(n, seed):
+    program = TrivialTwoWaySimulator(LeaderElectionProtocol())
+    initial = Configuration([LEADER] * n)
+    predicate = AgentCountPredicate(lambda s: s == LEADER, target=1)
+    return program, TW, initial, None, predicate
+
+
+def _tw_majority(n, seed):
+    protocol = ExactMajorityProtocol()
+    program = TrivialTwoWaySimulator(protocol)
+    count_a = n // 2 + 1
+    initial = protocol.initial_configuration(count_a, n - count_a)
+    predicate = AgentCountPredicate(lambda s: protocol.output(s) == A)
+    return program, TW, initial, None, predicate
+
+
+def _io_epidemic(n, seed):
+    program = OneWayEpidemicProtocol()
+    initial = Configuration([INFORMED] + [SUSCEPTIBLE] * (n - 1))
+    predicate = AgentCountPredicate(lambda s: s == INFORMED)
+    return program, get_model("IO"), initial, None, predicate
+
+
+def _i1_epidemic_bounded_adversary(n, seed):
+    model = get_model("I1")
+    program = OneWayEpidemicProtocol()
+    initial = Configuration([INFORMED] + [SUSCEPTIBLE] * (n - 1))
+    adversary = lambda: BoundedOmissionAdversary(model, max_omissions=3, seed=seed)
+    predicate = AgentCountPredicate(lambda s: s == INFORMED)
+    return program, model, initial, adversary, predicate
+
+
+def _i3_epidemic_flooding_adversary(n, seed):
+    model = get_model("I3")
+    program = OneWayEpidemicProtocol()
+    initial = Configuration([INFORMED] + [SUSCEPTIBLE] * (n - 1))
+    adversary = lambda: UOAdversary(model, rate=0.6, max_per_gap=4, seed=seed)
+    predicate = AgentCountPredicate(lambda s: s == INFORMED)
+    return program, model, initial, adversary, predicate
+
+
+SYSTEMS = [
+    _tw_epidemic,
+    _tw_leader,
+    _tw_majority,
+    _io_epidemic,
+    _i1_epidemic_bounded_adversary,
+    _i3_epidemic_flooding_adversary,
+]
+
+
+def _build(system_index, n, seed):
+    program, model, initial, adversary_factory, predicate = SYSTEMS[system_index](n, seed)
+    adversary = adversary_factory() if adversary_factory else None
+    engine = SimulationEngine(program, model, RandomScheduler(n, seed=seed), adversary=adversary)
+    return engine, initial, predicate
+
+
+system_indices = st.integers(min_value=0, max_value=len(SYSTEMS) - 1)
+populations = st.integers(min_value=3, max_value=9)
+seeds = st.integers(min_value=0, max_value=10_000)
+budgets = st.integers(min_value=0, max_value=400)
+
+
+# ---------------------------------------------------------------------------
+# properties
+# ---------------------------------------------------------------------------
+
+
+class TestRunEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(system=system_indices, n=populations, seed=seeds, max_steps=budgets)
+    def test_counts_only_matches_legacy_executor(self, system, n, seed, max_steps):
+        engine, initial, _ = _build(system, n, seed)
+        result = engine.execute(initial, max_steps, trace_policy="counts-only")
+
+        reference_engine, reference_initial, _ = _build(system, n, seed)
+        reference = legacy_execute(
+            reference_engine.program, reference_engine.model, reference_engine.scheduler,
+            reference_engine.adversary, reference_initial, max_steps)
+
+        assert result.steps == reference["steps"]
+        assert result.omissions == reference["omissions"]
+        assert result.final_configuration == reference["final"]
+
+    @settings(max_examples=40, deadline=None)
+    @given(system=system_indices, n=populations, seed=seeds, max_steps=budgets)
+    def test_full_trace_matches_legacy_executor_step_by_step(self, system, n, seed, max_steps):
+        engine, initial, _ = _build(system, n, seed)
+        trace = engine.run(initial, max_steps)
+
+        reference_engine, reference_initial, _ = _build(system, n, seed)
+        reference = legacy_execute(
+            reference_engine.program, reference_engine.model, reference_engine.scheduler,
+            reference_engine.adversary, reference_initial, max_steps)
+
+        assert len(trace) == reference["steps"]
+        assert trace.final_configuration == reference["final"]
+        assert trace.omission_count() == reference["omissions"]
+        for fast_step, reference_step in zip(trace, reference["trace"]):
+            assert fast_step == reference_step
+
+
+class TestConvergenceEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(system=system_indices, n=populations, seed=seeds,
+           window=st.integers(min_value=0, max_value=30),
+           policy=st.sampled_from(["full", "counts-only"]))
+    def test_run_until_stable_matches_legacy_executor(self, system, n, seed, window, policy):
+        engine, initial, predicate = _build(system, n, seed)
+        outcome = run_until_stable(
+            engine, initial, predicate, max_steps=2_000,
+            stability_window=window, trace_policy=policy)
+
+        reference_engine, reference_initial, _ = _build(system, n, seed)
+        # The reference predicate is a plain full-rescan callable, so this
+        # also checks incremental predicates against rescanning semantics.
+        informed_like = {
+            0: lambda c: c.count(INFORMED) == len(c),
+            1: lambda c: c.count(LEADER) == 1,
+            3: lambda c: c.count(INFORMED) == len(c),
+            4: lambda c: c.count(INFORMED) == len(c),
+            5: lambda c: c.count(INFORMED) == len(c),
+        }
+        if system == 2:
+            protocol = ExactMajorityProtocol()
+            reference_predicate = lambda c: all(protocol.output(s) == A for s in c)
+        else:
+            reference_predicate = informed_like[system]
+        reference = legacy_execute(
+            reference_engine.program, reference_engine.model, reference_engine.scheduler,
+            reference_engine.adversary, reference_initial, 2_000,
+            predicate=reference_predicate, stability_window=window)
+
+        assert outcome.converged == reference["converged"]
+        assert outcome.steps_executed == reference["steps"]
+        assert outcome.steps_to_convergence == reference["steps_to_convergence"]
+        assert outcome.final_configuration == reference["final"]
+        assert outcome.omissions == reference["omissions"]
+        if policy == "full":
+            assert outcome.trace.omission_count() == reference["omissions"]

@@ -127,3 +127,83 @@ class TestNegativeVerification:
         # Reactor-side events alone can never be matched with each other.
         assert matching.pairs == []
         assert len(matching.changed_unmatched_events()) == 2
+
+
+class TestInFlightDeferral:
+    """Matched pairs depending on in-flight events are deferred, not violations.
+
+    Regression for a false positive found by hypothesis: a matched *silent*
+    pair ``(bot, p) -> (bot, p)`` whose ``bot`` agent was produced by a
+    still-in-flight ``(c, p) -> (cs, bot)`` interaction (the starter half
+    never committed within the prefix) made the anonymous derived-run replay
+    report "no agent in simulated state 'bot' is available".
+    """
+
+    def test_silent_pair_enabled_by_in_flight_event_is_deferred(self, protocol):
+        from repro.scheduling.runs import Interaction
+
+        simulator = SKnOSimulator(protocol, omission_bound=0)
+        config = simulator.initial_configuration(Configuration(["c", "p", "p"]))
+        run = Run([Interaction(s, r) for s, r in
+                   [(0, 1), (1, 2), (1, 2), (2, 1), (2, 0), (0, 1)]])
+        engine = SimulationEngine(simulator, get_model("I3"), scheduler=None)
+        trace = engine.replay(config, run)
+        report = verify_simulation(simulator, trace)
+        assert report.ok, report.errors
+        assert report.derived_consistent
+        assert report.deferred_pairs == 1
+        assert report.unmatched_changed_events == 1
+
+    def test_exact_replay_unchanged_without_in_flight_events(self, protocol):
+        # A clean complete run must still verify exactly, with no deferrals.
+        simulator = SKnOSimulator(protocol, omission_bound=0)
+        config = simulator.initial_configuration(Configuration(["c"] * 2 + ["p"] * 2))
+        engine = SimulationEngine(simulator, get_model("I3"), RandomScheduler(4, seed=1))
+        trace = engine.run(config, max_steps=2_000)
+        report = verify_simulation(simulator, trace)
+        assert report.ok
+        if report.unmatched_changed_events == 0:
+            assert report.deferred_pairs == 0
+
+    def test_truly_unavailable_state_still_flagged(self, protocol):
+        # The softening must not mask hard violations: a derived pair whose
+        # pre-state exists in neither the multiset nor the in-flight pool is
+        # still an error.
+        from repro.core.events import DerivedStep, replay_derived_run_anonymous
+
+        derived = [DerivedStep(
+            starter_agent=0, reactor_agent=1,
+            starter_pre="bot", reactor_pre="p",
+            starter_post="bot", reactor_post="p",
+            starter_event_index=0, reactor_event_index=1,
+        )]
+        report = replay_derived_run_anonymous(
+            protocol, Configuration(["c", "p"]), derived, in_flight_events=())
+        assert not report.consistent
+        assert "no agent in simulated state 'bot'" in report.errors[0]
+        assert report.deferred_pairs == 0
+
+    def test_agent_cannot_supply_both_stale_pre_and_in_flight_post(self, protocol):
+        # Soundness: consuming an in-flight post-state debits the agent's
+        # pre-state from the multiset.  With a single 'p' agent whose
+        # in-flight update is p -> bot, a pair needing BOTH a 'p' and a
+        # 'bot' is unrealisable in any extension and must stay a violation.
+        from repro.core.events import DerivedStep, replay_derived_run_anonymous
+
+        derived = [DerivedStep(
+            starter_agent=0, reactor_agent=1,
+            starter_pre="bot", reactor_pre="p",
+            starter_post="bot", reactor_post="p",
+            starter_event_index=0, reactor_event_index=1,
+        )]
+        report = replay_derived_run_anonymous(
+            protocol, Configuration(["p"]), derived, in_flight_events=[("p", "bot")])
+        assert not report.consistent
+        assert report.deferred_pairs == 0
+        # With a second 'p' agent present the pair becomes realisable
+        # (one agent completes p -> bot, the other supplies 'p') and is
+        # deferred instead of flagged.
+        report = replay_derived_run_anonymous(
+            protocol, Configuration(["p", "p"]), derived, in_flight_events=[("p", "bot")])
+        assert report.consistent
+        assert report.deferred_pairs == 1
