@@ -17,6 +17,7 @@ from repro.core.skno import SKnOSimulator
 from repro.core.verification import verify_simulation
 from repro.engine.convergence import run_until_stable
 from repro.engine.engine import SimulationEngine
+from repro.engine.fastpath import AgentCountPredicate
 from repro.interaction.models import get_model
 from repro.protocols.catalog.leader_election import LeaderElectionProtocol
 from repro.scheduling.scheduler import RandomScheduler
@@ -30,11 +31,13 @@ def run_it_leader_election(n: int, seed: int = 0):
     simulator = SKnOSimulator(protocol, omission_bound=0)
     config = simulator.initial_configuration(protocol.initial_configuration(n))
     engine = SimulationEngine(simulator, get_model("IT"), RandomScheduler(n, seed=seed))
-    predicate = lambda c: sum(1 for s in c if simulator.project(s) == "L") == 1
+    # Incremental predicate: O(1) per step instead of an O(n) rescan.  The
+    # full trace is still recorded — verify_simulation needs it.
+    predicate = AgentCountPredicate(lambda s: simulator.project(s) == "L", target=1)
     outcome = run_until_stable(engine, config, predicate, max_steps=MAX_STEPS,
                                stability_window=WINDOW)
     report = verify_simulation(simulator, outcome.trace)
-    observed_bits = max_bits_per_agent([outcome.trace.final_configuration])
+    observed_bits = max_bits_per_agent([outcome.final_configuration])
     return {
         "n": n,
         "converged": outcome.converged,

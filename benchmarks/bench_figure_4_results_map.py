@@ -36,6 +36,7 @@ from repro.core.skno import SKnOSimulator
 from repro.core.verification import verify_simulation
 from repro.engine.convergence import run_until_stable
 from repro.engine.engine import SimulationEngine
+from repro.engine.fastpath import AgentCountPredicate
 from repro.interaction.adapters import one_way_as_two_way
 from repro.interaction.models import IO, get_model
 from repro.protocols.catalog.pairing import PairingProtocol
@@ -64,7 +65,10 @@ def _check_simulation_possible(simulator, model, omission_budget=0, seed=0):
     engine = SimulationEngine(simulator, model, RandomScheduler(len(config), seed=seed),
                               adversary=adversary)
     expected_critical = min(p_config.count("c"), p_config.count("p"))
-    predicate = lambda c: c.project(simulator.project).count("cs") == expected_critical
+    # Incremental predicate: O(1) per step instead of an O(n) projection
+    # rescan.  The full trace is still recorded — verify_simulation needs it.
+    predicate = AgentCountPredicate(
+        lambda s: simulator.project(s) == "cs", target=expected_critical)
     outcome = run_until_stable(engine, config, predicate, max_steps=MAX_STEPS,
                                stability_window=WINDOW)
     report = verify_simulation(simulator, outcome.trace)

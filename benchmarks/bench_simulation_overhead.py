@@ -27,6 +27,7 @@ from repro.core.trivial import TrivialTwoWaySimulator
 from repro.core.verification import verify_simulation
 from repro.engine.convergence import run_until_stable
 from repro.engine.engine import SimulationEngine
+from repro.engine.fastpath import incremental_stable_output
 from repro.interaction.models import IO, TW, get_model
 from repro.protocols.catalog.majority import ExactMajorityProtocol
 from repro.protocols.state import Configuration
@@ -53,7 +54,9 @@ def measure(name, simulator, model, protocol, seed=0):
     p_config = protocol.initial_configuration(count_a, N - count_a)
     config = simulator.initial_configuration(p_config)
     engine = SimulationEngine(simulator, model, RandomScheduler(N, seed=seed))
-    predicate = lambda c: all(protocol.output(simulator.project(s)) == "A" for s in c)
+    # Incremental predicate: O(1) per step instead of an O(n) rescan.  The
+    # full trace is still recorded — verify_simulation needs it.
+    predicate = incremental_stable_output(protocol, "A", projection=simulator.project)
     outcome = run_until_stable(engine, config, predicate, max_steps=MAX_STEPS,
                                stability_window=WINDOW)
     report = verify_simulation(simulator, outcome.trace)
@@ -79,7 +82,7 @@ def measure(name, simulator, model, protocol, seed=0):
                      if report.matched_pairs else float("inf")),
         "ftt": ftt,
         "verified": report.ok,
-        "memory": max_bits_per_agent([outcome.trace.final_configuration]),
+        "memory": max_bits_per_agent([outcome.final_configuration]),
     }
 
 

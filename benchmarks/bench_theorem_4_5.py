@@ -17,6 +17,7 @@ from repro.core.sid import SIDSimulator
 from repro.core.verification import verify_simulation
 from repro.engine.convergence import run_until_stable
 from repro.engine.engine import SimulationEngine
+from repro.engine.fastpath import AgentCountPredicate, incremental_stable_output
 from repro.interaction.models import IO
 from repro.protocols.catalog.leader_election import LeaderElectionProtocol
 from repro.protocols.catalog.majority import ExactMajorityProtocol
@@ -31,19 +32,21 @@ def run_sid_workload(workload: str, n: int, seed: int = 0):
         protocol = ExactMajorityProtocol()
         count_a = n // 2 + 1
         initial = protocol.initial_configuration(count_a, n - count_a)
-        predicate_value = "A"
-        predicate = lambda c, s: all(
-            protocol.output(s.project(x)) == predicate_value for x in c)
     else:
         protocol = LeaderElectionProtocol()
         initial = protocol.initial_configuration(n)
-        predicate = lambda c, s: sum(1 for x in c if s.project(x) == "L") == 1
 
     simulator = SIDSimulator(protocol)
+    # Incremental predicates: O(1) per step instead of an O(n) rescan.  The
+    # full trace is still recorded — verify_simulation needs it.
+    if workload == "majority":
+        predicate = incremental_stable_output(protocol, "A", projection=simulator.project)
+    else:
+        predicate = AgentCountPredicate(lambda s: simulator.project(s) == "L", target=1)
     config = simulator.initial_configuration(initial)
     engine = SimulationEngine(simulator, IO, RandomScheduler(n, seed=seed))
     outcome = run_until_stable(
-        engine, config, lambda c: predicate(c, simulator),
+        engine, config, predicate,
         max_steps=MAX_STEPS, stability_window=WINDOW)
     report = verify_simulation(simulator, outcome.trace)
     return {
@@ -55,7 +58,7 @@ def run_sid_workload(workload: str, n: int, seed: int = 0):
         "overhead": (outcome.steps_executed / report.matched_pairs
                      if report.matched_pairs else float("inf")),
         "verified": report.ok,
-        "memory_bits": max_bits_per_agent([outcome.trace.final_configuration]),
+        "memory_bits": max_bits_per_agent([outcome.final_configuration]),
         "memory_bound": sid_state_bound_bits(protocol, n),
     }
 

@@ -14,6 +14,7 @@ from repro.core.naming import KnownSizeSimulator
 from repro.core.verification import verify_simulation
 from repro.engine.convergence import run_until_stable
 from repro.engine.engine import SimulationEngine
+from repro.engine.fastpath import incremental_stable_output
 from repro.interaction.models import IO
 from repro.protocols.catalog.majority import ExactMajorityProtocol
 from repro.scheduling.scheduler import RandomScheduler
@@ -29,7 +30,10 @@ def run_known_size_workload(n: int, seed: int = 0):
     config = simulator.initial_configuration(
         protocol.initial_configuration(count_a, n - count_a))
     engine = SimulationEngine(simulator, IO, RandomScheduler(n, seed=seed))
-    predicate = lambda c: all(protocol.output(simulator.project(s)) == "A" for s in c)
+    # Incremental predicate: O(1) per step instead of an O(n) rescan.  The
+    # full trace is still recorded — verification and the naming-phase scan
+    # below both need it.
+    predicate = incremental_stable_output(protocol, "A", projection=simulator.project)
     outcome = run_until_stable(engine, config, predicate, max_steps=MAX_STEPS,
                                stability_window=WINDOW)
     report = verify_simulation(simulator, outcome.trace)

@@ -21,6 +21,9 @@ Examples::
 
     repro run --protocol exact-majority --model I3 --simulator skno \
               --population 10 --omission-bound 2 --omissions 2 --seed 1
+    repro run --protocol exact-majority --runs 16 --jobs 4 \
+              --backend process --trace-policy counts-only
+    repro run --protocol leader-election --trace-policy ring --max-steps 500
     repro attack lemma1 --omission-bound 1
     repro attack no1 --model I1
     repro map
@@ -36,105 +39,26 @@ from typing import List, Optional
 from repro.adversary.constructions import Lemma1Construction, no1_liveness_attack
 from repro.adversary.omission import BoundedOmissionAdversary
 from repro.analysis.reporting import format_results_map, format_table
-from repro.core.naming import KnownSizeSimulator
-from repro.core.sid import SIDSimulator
 from repro.core.skno import SKnOSimulator
-from repro.core.trivial import TrivialTwoWaySimulator
 from repro.core.verification import verify_simulation
 from repro.engine.convergence import run_until_stable
 from repro.engine.engine import SimulationEngine
-from repro.engine.experiment import repeat_experiment
+from repro.engine.experiment import JOBS_BACKENDS, repeat_experiment
 from repro.interaction.adapters import one_way_as_two_way
 from repro.interaction.hierarchy import HIERARCHY_EDGES, topological_order
 from repro.interaction.models import MODELS_BY_NAME, get_model
 from repro.protocols.catalog import CATALOG, get_protocol
 from repro.protocols.catalog.pairing import PairingProtocol
+from repro.protocols.registry import (
+    ExperimentSpec,
+    build_simulator,
+    default_initial_configuration,
+    stable_output_predicate,
+)
 from repro.protocols.state import Configuration
 from repro.scheduling.scheduler import RandomScheduler
 
 SIMULATOR_CHOICES = ("none", "skno", "sid", "known-n")
-
-
-def _build_initial_configuration(protocol, population: int, args) -> Configuration:
-    """A sensible default initial configuration for each catalog protocol."""
-    name = protocol.name
-    majority_a = population // 2 + 1
-    if name == "pairing":
-        consumers = population // 2
-        return Configuration(["c"] * consumers + ["p"] * (population - consumers))
-    if name == "leader-election":
-        return Configuration(["L"] * population)
-    if name in ("exact-majority", "approximate-majority"):
-        return protocol.initial_configuration(majority_a, population - majority_a)
-    if name.startswith("threshold") or name.startswith("mod-") or name == "parity":
-        ones = args.ones if args.ones is not None else majority_a
-        return protocol.initial_configuration(ones, population - ones)
-    if name in ("or", "and"):
-        ones = args.ones if args.ones is not None else 1
-        return protocol.initial_configuration(ones, population - ones)
-    if name.startswith("averaging"):
-        return Configuration([(i * 3) % (protocol.max_value + 1) for i in range(population)])
-    if name == "epidemic":
-        return Configuration(["I"] + ["S"] * (population - 1))
-    raise SystemExit(f"no default initial configuration for protocol {name!r}")
-
-
-def _build_simulator(kind: str, protocol, population: int, omission_bound: int, model_name: str):
-    if kind == "none":
-        return TrivialTwoWaySimulator(protocol)
-    if kind == "skno":
-        variant = "I4" if model_name.upper() == "I4" else "I3"
-        return SKnOSimulator(protocol, omission_bound=omission_bound, variant=variant)
-    if kind == "sid":
-        return SIDSimulator(protocol)
-    if kind == "known-n":
-        return KnownSizeSimulator(protocol, population_size=population)
-    raise SystemExit(f"unknown simulator {kind!r}")
-
-
-def _stable_predicate(simulator, protocol, initial_projected: Configuration):
-    """Predicate: every agent's simulated output equals the final stable output.
-
-    The expected stable output is derived from the initial configuration
-    where possible (majority opinion, OR/AND value, threshold verdict);
-    protocols without a natural scalar output fall back to "outputs stopped
-    changing", approximated by unanimity of outputs.
-    """
-    outputs = [protocol.output(state) for state in initial_projected]
-
-    name = protocol.name
-    if name == "pairing":
-        expected_critical = min(initial_projected.count("c"), initial_projected.count("p"))
-        return lambda c: c.project(simulator.project).count("cs") == expected_critical
-    if name == "leader-election":
-        return lambda c: sum(1 for s in c if simulator.project(s) == "L") == 1
-    if name == "exact-majority":
-        count_a = sum(1 for value in outputs if value == "A")
-        expected = "A" if count_a * 2 > len(outputs) else "B"
-        return lambda c: all(protocol.output(simulator.project(s)) == expected for s in c)
-    if name.startswith("averaging"):
-        return lambda c: max(simulator.project(s) for s in c) - min(
-            simulator.project(s) for s in c) <= 1
-    if name.startswith("threshold"):
-        ones = sum(weight for weight, _ in initial_projected)
-        expected = protocol.expected_output(ones)
-        return lambda c: all(protocol.output(simulator.project(s)) == expected for s in c)
-    if name.startswith("mod-") or name == "parity":
-        ones = sum(residue for _, residue in initial_projected)
-        expected = protocol.expected_output(ones)
-        return lambda c: all(protocol.output(simulator.project(s)) == expected for s in c)
-    # Generic boolean predicates: the stable output is determined by the
-    # protocol's own expected_output when available.
-    expected = None
-    if hasattr(protocol, "expected_output"):
-        ones = sum(1 for state in initial_projected if protocol.output(state))
-        try:
-            expected = protocol.expected_output(ones)
-        except TypeError:
-            expected = None
-    if expected is not None:
-        return lambda c: all(protocol.output(simulator.project(s)) == expected for s in c)
-    return lambda c: len({protocol.output(simulator.project(s)) for s in c}) == 1
 
 
 def _command_run(args) -> int:
@@ -143,8 +67,13 @@ def _command_run(args) -> int:
         protocol_kwargs["threshold"] = args.threshold
     protocol = get_protocol(args.protocol, **protocol_kwargs)
     model = get_model(args.model)
-    initial_projected = _build_initial_configuration(protocol, args.population, args)
-    simulator = _build_simulator(
+    try:
+        initial_projected = default_initial_configuration(
+            protocol, args.population, ones=args.ones)
+    except KeyError as error:
+        # KeyError repr-quotes str(error); unwrap to keep the message clean.
+        raise SystemExit(error.args[0])
+    simulator = build_simulator(
         args.simulator, protocol, args.population, args.omission_bound, args.model)
 
     if args.simulator == "none" and model.name != "TW":
@@ -158,11 +87,11 @@ def _command_run(args) -> int:
     if args.jobs < 1:
         raise SystemExit("--jobs must be at least 1")
 
-    config = simulator.initial_configuration(initial_projected)
-    predicate = _stable_predicate(simulator, protocol, initial_projected)
-
     if args.runs > 1:
-        return _run_repeated(args, protocol, model, simulator, config, predicate)
+        return _run_repeated(args, protocol, model, simulator, protocol_kwargs)
+
+    config = simulator.initial_configuration(initial_projected)
+    predicate = stable_output_predicate(simulator, protocol, initial_projected)
 
     adversary = None
     if args.omissions > 0:
@@ -172,7 +101,8 @@ def _command_run(args) -> int:
         simulator, model, RandomScheduler(args.population, seed=args.seed), adversary=adversary)
     outcome = run_until_stable(engine, config, predicate, max_steps=args.max_steps,
                                stability_window=args.stability_window,
-                               trace_policy=args.trace_policy)
+                               trace_policy=args.trace_policy,
+                               ring_size=args.ring_size)
 
     report = None
     if args.trace_policy == "full":
@@ -196,16 +126,44 @@ def _command_run(args) -> int:
         print()
         for error in report.errors[:5]:
             print("  !", error)
+    if args.trace_policy == "ring" and not outcome.converged and outcome.last_steps:
+        _print_ring_dump(outcome.last_steps)
     verified = report.ok if report else True
     return 0 if (outcome.converged and verified) else 1
 
 
-def _run_repeated(args, protocol, model, simulator, config, predicate) -> int:
-    """``repro run --runs N [--jobs J]``: the parallel batch-experiment path."""
-    adversary_factory = None
-    if args.omissions > 0:
-        adversary_factory = lambda run_index: BoundedOmissionAdversary(
-            model, max_omissions=args.omissions, seed=args.seed + run_index)
+def _print_ring_dump(last_steps, run_label: str = "run") -> None:
+    """Crash-dump the trailing window kept by the ``ring`` trace policy."""
+    print()
+    print(f"{run_label} did not converge — last {len(last_steps)} interactions "
+          "(ring trace policy crash dump):")
+    rows = [
+        [step.index, str(step.interaction),
+         f"{step.starter_pre!r} -> {step.starter_post!r}",
+         f"{step.reactor_pre!r} -> {step.reactor_post!r}"]
+        for step in last_steps
+    ]
+    print(format_table(["step", "interaction", "starter", "reactor"], rows))
+
+
+def _run_repeated(args, protocol, model, simulator, protocol_kwargs) -> int:
+    """``repro run --runs N [--jobs J] [--backend B]``: the batch-experiment path.
+
+    The experiment is described by a picklable registry spec, so the thread
+    and process backends execute byte-identical runs and merge the same way.
+    """
+    spec = ExperimentSpec(
+        protocol=args.protocol,
+        protocol_kwargs=protocol_kwargs,
+        population=args.population,
+        model=args.model,
+        simulator=args.simulator,
+        omission_bound=args.omission_bound,
+        omissions=args.omissions,
+        ones=args.ones,
+        predicate="stable-output",
+        scheduler="random",
+    )
 
     validate = None
     if args.trace_policy == "full":
@@ -217,18 +175,16 @@ def _run_repeated(args, protocol, model, simulator, config, predicate) -> int:
             return None
 
     result = repeat_experiment(
-        simulator,
-        model,
-        config,
-        predicate,
+        spec=spec,
         runs=args.runs,
         max_steps=args.max_steps,
         stability_window=args.stability_window,
         base_seed=args.seed,
-        adversary_factory=adversary_factory,
         validate=validate,
         jobs=args.jobs,
+        jobs_backend=args.backend,
         trace_policy=args.trace_policy,
+        ring_size=args.ring_size,
     )
 
     mean = result.mean_convergence_steps
@@ -240,6 +196,7 @@ def _run_repeated(args, protocol, model, simulator, config, predicate) -> int:
         ["population", args.population],
         ["runs", result.runs],
         ["jobs", args.jobs],
+        ["backend", args.backend],
         ["successes", f"{result.successes}/{result.runs}"],
         ["success rate", f"{result.success_rate:.2f}"],
         ["mean interactions to stabilise", f"{mean:.0f}" if mean is not None else "-"],
@@ -253,6 +210,9 @@ def _run_repeated(args, protocol, model, simulator, config, predicate) -> int:
         print()
         for failure in result.failures[:5]:
             print("  !", failure)
+    if args.trace_policy == "ring":
+        for run_index, last_steps in result.failure_dumps:
+            _print_ring_dump(last_steps, run_label=f"run {run_index}")
     return 0 if result.all_succeeded else 1
 
 
@@ -328,12 +288,19 @@ def build_parser() -> argparse.ArgumentParser:
                             help="repeat the run with seeds seed..seed+runs-1 "
                                  "and report aggregate convergence statistics")
     run_parser.add_argument("--jobs", type=int, default=1,
-                            help="worker threads for --runs > 1 (deterministic merge)")
+                            help="workers for --runs > 1 (deterministic merge)")
+    run_parser.add_argument("--backend", choices=JOBS_BACKENDS, default="thread",
+                            help="fan-out backend for --runs > 1: thread shares live "
+                                 "objects (GIL-bound); process ships picklable registry "
+                                 "keys + seeds to a ProcessPoolExecutor")
     run_parser.add_argument("--trace-policy", choices=("full", "counts-only", "ring"),
                             default="full",
                             help="full: record every step and verify the simulation; "
                                  "counts-only: fast path, skips verification; "
-                                 "ring: keep only the last steps")
+                                 "ring: keep only the last steps and crash-dump them "
+                                 "on non-convergence")
+    run_parser.add_argument("--ring-size", type=int, default=64,
+                            help="trailing window size for --trace-policy ring")
     run_parser.set_defaults(handler=_command_run)
 
     attack_parser = subparsers.add_parser("attack", help="execute an impossibility construction")

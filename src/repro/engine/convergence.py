@@ -115,6 +115,11 @@ def run_until_stable(
     window, so ``steps_to_convergence`` (the index of the first
     configuration of the final stable streak) can be smaller than
     ``steps_executed``.
+
+    Adversary-free runs consume the scheduler through batched draws
+    (bitwise identical to per-step draws, so results are unchanged); when
+    convergence stops the run mid-chunk, the scheduler may have been
+    advanced past the last executed interaction.
     """
     recorder = make_recorder(trace_policy, ring_size)
     buffer = MutableConfiguration(initial_configuration)

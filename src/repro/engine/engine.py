@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Optional
 
-from repro.engine.fastpath import RunResult, make_recorder, run_core
+from repro.engine.fastpath import DEFAULT_CHUNK_SIZE, RunResult, make_recorder, run_core
 from repro.engine.trace import Trace
 from repro.interaction.models import InteractionModel
 from repro.protocols.state import Configuration, MutableConfiguration
@@ -91,6 +91,7 @@ class SimulationEngine:
         *,
         trace_policy: str = "full",
         ring_size: Optional[int] = None,
+        chunk_size: Optional[int] = None,
     ) -> RunResult:
         """Execute up to ``max_steps`` interactions under a selectable trace policy.
 
@@ -108,8 +109,14 @@ class SimulationEngine:
         Budget semantics: a scheduled interaction is drawn only while budget
         remains and, once drawn, always executes; adversary injections that
         would leave it no budget are discarded.  A stop condition firing
-        mid-batch skips the rest of that batch.  See
-        :mod:`repro.engine.fastpath` for the full contract.
+        mid-batch skips the rest of that batch.
+
+        Adversary-free runs consume the scheduler in chunks of up to
+        ``chunk_size`` batched draws (default
+        :data:`~repro.engine.fastpath.DEFAULT_CHUNK_SIZE`); because batched
+        draws are bitwise identical to per-step draws, the result is
+        independent of ``chunk_size`` (``1`` reproduces the per-step loop).
+        See :mod:`repro.engine.fastpath` for the full contract.
         """
         if max_steps < 0:
             raise EngineError("max_steps must be non-negative")
@@ -131,6 +138,7 @@ class SimulationEngine:
             recorder,
             max_steps,
             on_step=on_step,
+            chunk_size=chunk_size if chunk_size is not None else DEFAULT_CHUNK_SIZE,
         )
         final = buffer.freeze()
         return RunResult(

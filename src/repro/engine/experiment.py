@@ -5,13 +5,32 @@ Most of the benchmark harness follows the same pattern: run the same system
 per-run success criterion, and aggregate convergence statistics.  This
 module factors that pattern out so benchmarks and integration tests stay
 declarative.
+
+Two fan-out backends are available for ``runs > 1``:
+
+``thread`` (default)
+    A :class:`~concurrent.futures.ThreadPoolExecutor` sharing the live
+    ``program``/``model`` objects.  Cheap to start and sufficient whenever
+    runs spend their time outside the GIL — but pure-Python protocols are
+    CPU-bound, so threads serialize on the interpreter lock.
+``process``
+    A :class:`~concurrent.futures.ProcessPoolExecutor` fed **registry keys
+    and seeds instead of closures**: the experiment must be described by a
+    picklable :class:`~repro.protocols.registry.ExperimentSpec`, which each
+    worker resolves against its own imported registries
+    (:mod:`repro.protocols.registry`).  This sidesteps the GIL for
+    CPU-heavy protocols at the cost of per-run result pickling.
+
+Both backends merge results in run-index order, so for a given spec and
+seed the aggregate :class:`ExperimentResult` is identical across
+sequential, thread and process execution.
 """
 
 from __future__ import annotations
 
 import statistics
 from collections import deque
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional
 
@@ -19,8 +38,17 @@ from repro.engine.convergence import ConvergenceResult, run_until_stable
 from repro.engine.engine import SimulationEngine
 from repro.engine.fastpath import IncrementalPredicate
 from repro.interaction.models import InteractionModel
+from repro.protocols.registry import ExperimentSpec, build_cached
 from repro.protocols.state import Configuration
 from repro.scheduling.scheduler import RandomScheduler
+
+#: The selectable fan-out backends for ``repeat_experiment(jobs > 1)``.
+JOBS_BACKENDS = ("thread", "process")
+
+
+#: Trailing windows kept per aggregate result under the ``ring`` policy
+#: (memory bound: windows are ring-size-bounded, but runs are not).
+MAX_FAILURE_DUMPS = 3
 
 
 @dataclass
@@ -31,6 +59,10 @@ class ExperimentResult:
     successes: int
     convergence_steps: List[int] = field(default_factory=list)
     failures: List[str] = field(default_factory=list)
+    #: Under the ``ring`` trace policy: ``(run_index, last_steps)`` for the
+    #: first :data:`MAX_FAILURE_DUMPS` failed runs, so callers (the CLI crash
+    #: dump) can show what the run was doing when it failed to converge.
+    failure_dumps: List[tuple] = field(default_factory=list)
 
     @property
     def success_rate(self) -> float:
@@ -72,11 +104,46 @@ class ExperimentResult:
         )
 
 
+def run_spec(
+    spec: ExperimentSpec,
+    run_index: int,
+    base_seed: int,
+    max_steps: int,
+    stability_window: int,
+    trace_policy: str,
+    ring_size: Optional[int] = None,
+) -> ConvergenceResult:
+    """Execute one seeded run of ``spec`` (the process-pool worker function).
+
+    Top-level by design: process backends ship this function by qualified
+    name plus its picklable arguments.  The spec build (protocol, simulator,
+    initial configuration) is memoised per process, so a worker executing
+    many runs of the same spec pays for it once.
+    """
+    built = build_cached(spec)
+    seed = base_seed + run_index
+    engine = SimulationEngine(
+        built.program,
+        built.model,
+        built.make_scheduler(seed),
+        adversary=built.make_adversary(seed),
+    )
+    return run_until_stable(
+        engine,
+        built.initial_configuration,
+        built.make_predicate(),
+        max_steps=max_steps,
+        stability_window=stability_window,
+        trace_policy=trace_policy,
+        ring_size=ring_size,
+    )
+
+
 def repeat_experiment(
-    program: Any,
-    model: InteractionModel,
-    initial_configuration: Configuration,
-    predicate: Any,
+    program: Any = None,
+    model: Optional[InteractionModel] = None,
+    initial_configuration: Optional[Configuration] = None,
+    predicate: Any = None,
     runs: int = 10,
     max_steps: int = 100_000,
     stability_window: int = 0,
@@ -86,8 +153,18 @@ def repeat_experiment(
     jobs: int = 1,
     trace_policy: Optional[str] = None,
     predicate_factory: Optional[Callable[[int], Any]] = None,
+    jobs_backend: str = "thread",
+    spec: Optional[ExperimentSpec] = None,
+    ring_size: Optional[int] = None,
 ) -> ExperimentResult:
     """Run the same system ``runs`` times with different scheduler seeds.
+
+    The system is described either by live objects (``program``, ``model``,
+    ``initial_configuration``, ``predicate``/``predicate_factory``,
+    ``adversary_factory`` — the original API, thread/sequential backends
+    only) or by a picklable ``spec`` (required for the process backend,
+    accepted by every backend; the live-object parameters must then be
+    omitted).
 
     Parameters
     ----------
@@ -104,14 +181,19 @@ def repeat_experiment(
         :class:`ConvergenceResult`; it returns ``None`` when the run is
         acceptable, or an error string which marks the run as failed (used
         e.g. to verify the simulation matching on top of convergence).
+        Always runs in the parent process, whatever the backend.
     jobs:
-        Number of worker threads for the per-seed fan-out.  Runs are
-        dispatched via :class:`concurrent.futures.ThreadPoolExecutor` and
-        merged back in run-index order, so the aggregate result is
-        deterministic and identical to the sequential one.  ``program`` and
-        ``model`` are shared across workers and must be stateless (all
-        catalog protocols and simulators are); schedulers and adversaries
-        are per-run.
+        Number of workers for the per-seed fan-out.  Runs are dispatched to
+        the selected backend and merged back in run-index order, so the
+        aggregate result is deterministic and identical to the sequential
+        one.  On the thread backend, ``program`` and ``model`` are shared
+        across workers and must be stateless (all catalog protocols and
+        simulators are); schedulers and adversaries are per-run.
+    jobs_backend:
+        ``"thread"`` (default) or ``"process"``.  The process backend
+        requires ``spec``: workers receive only the spec and seeds —
+        registry keys instead of closures — and return picklable
+        :class:`ConvergenceResult` values.
     trace_policy:
         Trace policy forwarded to :func:`run_until_stable`.  Defaults to
         ``"counts-only"`` (the fast path — the aggregate only needs counts)
@@ -121,9 +203,41 @@ def repeat_experiment(
         Optional callable mapping the run index to a fresh predicate;
         required instead of ``predicate`` when using a *stateful*
         incremental predicate with ``jobs > 1``.
+    spec:
+        Picklable :class:`~repro.protocols.registry.ExperimentSpec`
+        describing the whole system; mutually exclusive with the
+        live-object parameters.  Every run builds fresh predicates and
+        adversaries from the spec's registry keys, so stateful incremental
+        predicates need no ``predicate_factory`` here.
+    ring_size:
+        Window size forwarded to :func:`run_until_stable` under the
+        ``ring`` trace policy; the trailing windows of the first few
+        failed runs surface on ``ExperimentResult.failure_dumps``.
     """
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
+    if jobs_backend not in JOBS_BACKENDS:
+        raise ValueError(
+            f"unknown jobs_backend {jobs_backend!r}; expected one of {JOBS_BACKENDS}")
+    if spec is not None:
+        conflicting = [
+            name for name, value in (
+                ("program", program),
+                ("model", model),
+                ("initial_configuration", initial_configuration),
+                ("predicate", predicate),
+                ("predicate_factory", predicate_factory),
+                ("adversary_factory", adversary_factory),
+            ) if value is not None
+        ]
+        if conflicting:
+            raise ValueError(
+                "spec fully describes the system; do not also pass "
+                + ", ".join(conflicting))
+    elif jobs_backend == "process":
+        raise ValueError(
+            "the process backend ships registry keys, not closures; "
+            "describe the experiment with an ExperimentSpec (spec=...)")
     if jobs > 1 and predicate_factory is None and isinstance(predicate, IncrementalPredicate):
         raise ValueError(
             "incremental predicates are stateful; pass predicate_factory "
@@ -137,23 +251,31 @@ def repeat_experiment(
     policy = trace_policy if trace_policy is not None else (
         "full" if validate is not None else "counts-only"
     )
-    n = len(initial_configuration)
 
-    def execute_run(run_index: int) -> ConvergenceResult:
-        scheduler = RandomScheduler(n, seed=base_seed + run_index)
-        adversary = adversary_factory(run_index) if adversary_factory else None
-        engine = SimulationEngine(program, model, scheduler, adversary=adversary)
-        run_predicate = (
-            predicate_factory(run_index) if predicate_factory is not None else predicate
-        )
-        return run_until_stable(
-            engine,
-            initial_configuration,
-            run_predicate,
-            max_steps=max_steps,
-            stability_window=stability_window,
-            trace_policy=policy,
-        )
+    if spec is not None:
+        def execute_run(run_index: int) -> ConvergenceResult:
+            return run_spec(
+                spec, run_index, base_seed, max_steps, stability_window, policy,
+                ring_size)
+    else:
+        n = len(initial_configuration)
+
+        def execute_run(run_index: int) -> ConvergenceResult:
+            scheduler = RandomScheduler(n, seed=base_seed + run_index)
+            adversary = adversary_factory(run_index) if adversary_factory else None
+            engine = SimulationEngine(program, model, scheduler, adversary=adversary)
+            run_predicate = (
+                predicate_factory(run_index) if predicate_factory is not None else predicate
+            )
+            return run_until_stable(
+                engine,
+                initial_configuration,
+                run_predicate,
+                max_steps=max_steps,
+                stability_window=stability_window,
+                trace_policy=policy,
+                ring_size=ring_size,
+            )
 
     result = ExperimentResult(runs=0, successes=0)
 
@@ -172,26 +294,45 @@ def repeat_experiment(
                 result.convergence_steps.append(outcome.steps_to_convergence)
         else:
             result.failures.append(failure)
+            if outcome.last_steps and len(result.failure_dumps) < MAX_FAILURE_DUMPS:
+                result.failure_dumps.append((run_index, outcome.last_steps))
 
-    # Merge outcomes in submission order as they stream in, keeping at most
-    # a small window of runs outstanding: with full traces, materialising
-    # every ConvergenceResult (or letting completed futures pile up behind a
-    # slow early run) would hold up to runs x max_steps steps in memory.
     if jobs > 1 and runs > 1:
         workers = min(jobs, runs)
-        window = 2 * workers
-        with ThreadPoolExecutor(max_workers=workers) as executor:
-            pending: deque = deque()
-            merged = 0
-            for run_index in range(runs):
-                pending.append(executor.submit(execute_run, run_index))
-                if len(pending) >= window:
-                    merge(merged, pending.popleft().result())
-                    merged += 1
-            while pending:
-                merge(merged, pending.popleft().result())
-                merged += 1
+        if jobs_backend == "process":
+            with ProcessPoolExecutor(max_workers=workers) as executor:
+                submit = lambda run_index: executor.submit(  # noqa: E731
+                    run_spec, spec, run_index, base_seed, max_steps,
+                    stability_window, policy, ring_size)
+                _merge_windowed(submit, runs, workers, merge)
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as executor:
+                submit = lambda run_index: executor.submit(  # noqa: E731
+                    execute_run, run_index)
+                _merge_windowed(submit, runs, workers, merge)
     else:
         for run_index in range(runs):
             merge(run_index, execute_run(run_index))
     return result
+
+
+def _merge_windowed(submit, runs: int, workers: int, merge) -> None:
+    """Submit ``runs`` futures, merging in submission order as they stream in.
+
+    Keeps at most ``2 * workers`` runs outstanding: with full traces,
+    materialising every :class:`ConvergenceResult` (or letting completed
+    futures pile up behind a slow early run) would hold up to
+    ``runs x max_steps`` steps in memory.  Merging strictly in submission
+    order is what makes the fan-out deterministic.
+    """
+    window = 2 * workers
+    pending: deque = deque()
+    merged = 0
+    for run_index in range(runs):
+        pending.append(submit(run_index))
+        if len(pending) >= window:
+            merge(merged, pending.popleft().result())
+            merged += 1
+    while pending:
+        merge(merged, pending.popleft().result())
+        merged += 1

@@ -41,6 +41,28 @@ Budget semantics (the seed had two subtly different accountings):
 * a stop condition may end the run mid-batch, in which case the remaining
   interactions of the batch (possibly including the scheduled one) are not
   executed.
+
+Batched scheduler draws:
+
+Adversary-free runs consume the scheduler through the batched protocol
+(:meth:`~repro.scheduling.scheduler.Scheduler.next_interactions`), drawing
+up to :data:`DEFAULT_CHUNK_SIZE` interactions per call.  Because batched
+draws are bitwise identical to per-step draws (the scheduler contract),
+chunking changes no executed interaction, count or final configuration —
+only the Python-level overhead per step.  Chunks are clipped to the
+remaining budget, so a run that exhausts its budget never over-draws; a
+*stop condition* ending the run mid-chunk, however, leaves the scheduler
+advanced to the end of the current chunk (the per-step loop already allowed
+a drawn scheduled interaction to go unexecuted when a stop fired before it;
+results are unaffected because abandoned draws never execute).
+
+Runs with an adversary keep per-step draws: the injection-truncation rule
+above depends on the *live* budget at each scheduled draw, so drawing ahead
+would either change which injections are discarded or advance the scheduler
+past interactions that never execute.  The interleaving — injections before
+their scheduled interaction, consulted once per scheduled draw, in draw
+order — is exactly the per-step semantics pinned by the fastpath-vs-legacy
+equivalence suite.
 """
 
 from __future__ import annotations
@@ -57,6 +79,11 @@ from repro.scheduling.scheduler import Scheduler, SchedulerExhausted
 
 #: The selectable trace policies, in decreasing order of detail.
 TRACE_POLICIES = ("full", "counts-only", "ring")
+
+#: Scheduled interactions drawn per batched scheduler call on adversary-free
+#: runs.  Large enough to amortize the per-chunk call overhead, small enough
+#: that a chunk of pending :class:`Interaction` objects stays cache-friendly.
+DEFAULT_CHUNK_SIZE = 256
 
 #: Deltas handed to incremental predicates: ``(agent, old_state, new_state)``
 #: for every agent whose state actually changed at the step (0, 1 or 2 items).
@@ -90,7 +117,9 @@ class FullRecorder:
         reactor_pre: State,
         reactor_post: State,
     ) -> None:
-        if interaction.is_omissive:
+        # interaction.omission.is_omissive, not the is_omissive property:
+        # record() runs once per step and the descriptor call is measurable.
+        if interaction.omission.is_omissive:
             self.omissions += 1
         self.steps.append(
             TraceStep(
@@ -122,7 +151,7 @@ class CountsOnlyRecorder:
         self.omissions = 0
 
     def record(self, interaction, starter_pre, starter_post, reactor_pre, reactor_post) -> None:
-        if interaction.is_omissive:
+        if interaction.omission.is_omissive:
             self.omissions += 1
 
     def build_trace(self, initial: Configuration, final: Configuration) -> Optional[Trace]:
@@ -150,7 +179,7 @@ class RingRecorder:
         self._count = 0
 
     def record(self, interaction, starter_pre, starter_post, reactor_pre, reactor_post) -> None:
-        if interaction.is_omissive:
+        if interaction.omission.is_omissive:
             self.omissions += 1
         self._ring.append(
             TraceStep(
@@ -325,25 +354,80 @@ def run_core(
     recorder: Any,
     max_steps: float,
     on_step: Optional[StepCallback] = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
 ) -> Tuple[int, bool]:
     """Execute up to ``max_steps`` interactions against ``buffer`` in place.
 
-    This is the single step loop behind every public entry point.  Per
-    iteration it draws one scheduled interaction, lets ``adversary`` (when
-    given) inject omissive interactions before it, applies each interaction
-    through ``model`` with two O(1) buffer writes, feeds the deltas to
-    ``recorder`` and consults ``on_step`` (which ends the run by returning
-    ``True``).  See the module docstring for the exact budget semantics.
+    This is the single step loop behind every public entry point.
+    Adversary-free runs draw scheduled interactions in chunks of up to
+    ``chunk_size`` through the batched scheduler protocol; runs with an
+    ``adversary`` draw per step and let it inject omissive interactions
+    before each scheduled one.  Either way, every executed interaction is
+    applied through ``model`` with two O(1) buffer writes, its deltas are
+    fed to ``recorder``, and ``on_step`` (when given) may end the run by
+    returning ``True``.  Chunking never changes results — batched draws are
+    bitwise identical to per-step draws — so ``chunk_size`` is purely a
+    performance knob (``1`` reproduces the per-step loop exactly, including
+    scheduler advancement on early stops).  See the module docstring for
+    the exact budget, batching and exhaustion semantics.
 
     Returns ``(executed, stopped)``: the number of executed interactions and
     whether ``on_step`` requested the stop.
     """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be at least 1")
     executed = 0
     scheduler_step = 0
     model_apply = model.apply
     record = recorder.record
-    states = buffer  # indexable, O(1) reads/writes
+    # The raw list behind the buffer: indexing MutableConfiguration goes
+    # through Python-level dunders, four calls per step that this loop is
+    # hot enough to care about.  Predicates holding a reference to `buffer`
+    # still observe every write (same list).
+    states = buffer._states
 
+    if adversary is None:
+        next_interactions = scheduler.next_interactions
+        while executed < max_steps:
+            budget = max_steps - executed
+            k = chunk_size if budget > chunk_size else int(budget)
+            chunk = next_interactions(scheduler_step, k)
+            scheduler_step += len(chunk)
+            if on_step is None:
+                for interaction in chunk:
+                    starter = interaction.starter
+                    reactor = interaction.reactor
+                    starter_pre = states[starter]
+                    reactor_pre = states[reactor]
+                    starter_post, reactor_post = model_apply(
+                        program, starter_pre, reactor_pre, interaction.omission
+                    )
+                    states[starter] = starter_post
+                    states[reactor] = reactor_post
+                    record(interaction, starter_pre, starter_post, reactor_pre, reactor_post)
+                executed += len(chunk)
+            else:
+                for interaction in chunk:
+                    starter = interaction.starter
+                    reactor = interaction.reactor
+                    starter_pre = states[starter]
+                    reactor_pre = states[reactor]
+                    starter_post, reactor_post = model_apply(
+                        program, starter_pre, reactor_pre, interaction.omission
+                    )
+                    states[starter] = starter_post
+                    states[reactor] = reactor_post
+                    record(interaction, starter_pre, starter_post, reactor_pre, reactor_post)
+                    executed += 1
+                    if on_step(
+                        interaction, starter_pre, starter_post, reactor_pre, reactor_post
+                    ):
+                        return executed, True
+            if len(chunk) < k:
+                break  # exhausted mid-chunk; terminal by the scheduler contract
+        return executed, False
+
+    n = len(states)
     while executed < max_steps:
         try:
             scheduled = scheduler.next_interaction(scheduler_step)
@@ -351,20 +435,16 @@ def run_core(
             break
         scheduler_step += 1
 
-        if adversary is not None:
-            injected = adversary.interactions_before(
-                step=scheduler_step - 1, scheduled=scheduled, n=len(states)
-            )
-            # Reserve one budget unit for the scheduled interaction: the
-            # scheduler has committed to it, so it must execute.
-            room = int(max_steps - executed - 1) if max_steps != float("inf") else None
-            if room is not None and len(injected) > room:
-                injected = injected[:room]
-            batch = [*injected, scheduled]
-        else:
-            batch = (scheduled,)
+        injected = adversary.interactions_before(
+            step=scheduler_step - 1, scheduled=scheduled, n=n
+        )
+        # Reserve one budget unit for the scheduled interaction: the
+        # scheduler has committed to it, so it must execute.
+        room = int(max_steps - executed - 1) if max_steps != float("inf") else None
+        if room is not None and len(injected) > room:
+            injected = injected[:room]
 
-        for interaction in batch:
+        for interaction in (*injected, scheduled):
             starter = interaction.starter
             reactor = interaction.reactor
             starter_pre = states[starter]

@@ -22,6 +22,9 @@ from repro.protocols.catalog.averaging import AveragingProtocol
 from repro.protocols.catalog.epidemic import EpidemicProtocol
 
 #: Registry of catalog protocols by name (factories with default parameters).
+#: Process-based fan-out resolves these constructors by key through
+#: :mod:`repro.protocols.registry`, so entries must stay importable at
+#: module top level (no closures).
 CATALOG = {
     "pairing": PairingProtocol,
     "leader-election": LeaderElectionProtocol,

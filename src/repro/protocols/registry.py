@@ -1,0 +1,357 @@
+"""Picklable experiment registry for process-based fan-out.
+
+``ProcessPoolExecutor`` workers cannot receive the closures that the
+thread-based ``repeat_experiment`` path shares freely: convergence
+predicates close over simulators, adversary factories close over models,
+and none of it pickles.  This module is the seam that makes process
+fan-out possible — every ingredient of an experiment is addressed by a
+**string key** into a module-level registry, and a whole experiment is
+described by the picklable, hashable :class:`ExperimentSpec`.  Workers
+receive a spec plus a seed, resolve the keys against their own imported
+registries, and rebuild the live objects locally; nothing but plain data
+crosses the process boundary.
+
+Registries
+----------
+
+* :data:`PROTOCOLS` — catalog protocol constructors (re-exported from
+  :data:`repro.protocols.catalog.CATALOG`).
+* :data:`SIMULATORS` — simulator factories by CLI name
+  (``none``/``skno``/``sid``/``known-n``).
+* :data:`PREDICATES` — convergence-predicate factories; each is called as
+  ``factory(simulator, protocol, initial_projected)`` inside the worker
+  and returns a fresh predicate per run (so stateful incremental
+  predicates are safe under any backend).
+* :data:`SCHEDULERS` — scheduler factories ``factory(n, seed)``.
+
+Extending: call :func:`register_predicate` / :func:`register_scheduler` /
+:func:`register_simulator` at import time of your own module.  Keys
+resolve *inside each worker process*, so the registering module must be
+imported there too — register at module top level, not inside functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.adversary.omission import BoundedOmissionAdversary
+from repro.core.naming import KnownSizeSimulator
+from repro.core.sid import SIDSimulator
+from repro.core.skno import SKnOSimulator
+from repro.core.trivial import TrivialTwoWaySimulator
+from repro.interaction.models import get_model
+from repro.protocols.catalog import CATALOG, get_protocol
+from repro.protocols.state import Configuration
+from repro.scheduling.graph_scheduler import (
+    complete_graph_scheduler,
+    ring_scheduler,
+    star_scheduler,
+)
+from repro.scheduling.scheduler import RandomScheduler, RoundRobinScheduler
+
+#: Protocol constructors by catalog name (the catalog registry, re-exported
+#: so every registry an :class:`ExperimentSpec` key can hit lives here).
+PROTOCOLS: Dict[str, Callable[..., Any]] = CATALOG
+
+
+# ---------------------------------------------------------------------------
+# simulators
+# ---------------------------------------------------------------------------
+
+
+def _build_none(protocol, population, omission_bound, model_name):
+    return TrivialTwoWaySimulator(protocol)
+
+
+def _build_skno(protocol, population, omission_bound, model_name):
+    variant = "I4" if model_name.upper() == "I4" else "I3"
+    return SKnOSimulator(protocol, omission_bound=omission_bound, variant=variant)
+
+
+def _build_sid(protocol, population, omission_bound, model_name):
+    return SIDSimulator(protocol)
+
+
+def _build_known_n(protocol, population, omission_bound, model_name):
+    return KnownSizeSimulator(protocol, population_size=population)
+
+
+#: Simulator factories ``factory(protocol, population, omission_bound,
+#: model_name) -> simulator`` by CLI simulator name.
+SIMULATORS: Dict[str, Callable[..., Any]] = {
+    "none": _build_none,
+    "skno": _build_skno,
+    "sid": _build_sid,
+    "known-n": _build_known_n,
+}
+
+
+def register_simulator(key: str, factory: Callable[..., Any]) -> None:
+    """Register a simulator factory under ``key`` (import-time only)."""
+    SIMULATORS[key] = factory
+
+
+def build_simulator(kind: str, protocol, population: int, omission_bound: int,
+                    model_name: str):
+    """Instantiate the simulator registered under ``kind``."""
+    try:
+        factory = SIMULATORS[kind]
+    except KeyError:
+        known = ", ".join(sorted(SIMULATORS))
+        raise KeyError(f"unknown simulator {kind!r}; known simulators: {known}") from None
+    return factory(protocol, population, omission_bound, model_name)
+
+
+# ---------------------------------------------------------------------------
+# initial configurations
+# ---------------------------------------------------------------------------
+
+
+def default_initial_configuration(protocol, population: int,
+                                  ones: Optional[int] = None) -> Configuration:
+    """A sensible default initial configuration for each catalog protocol.
+
+    ``ones`` overrides the number of agents with input 1 for the
+    threshold/modulo/OR/AND/parity families; the other protocols ignore it.
+    """
+    name = protocol.name
+    majority_a = population // 2 + 1
+    if name == "pairing":
+        consumers = population // 2
+        return Configuration(["c"] * consumers + ["p"] * (population - consumers))
+    if name == "leader-election":
+        return Configuration(["L"] * population)
+    if name in ("exact-majority", "approximate-majority"):
+        return protocol.initial_configuration(majority_a, population - majority_a)
+    if name.startswith("threshold") or name.startswith("mod-") or name == "parity":
+        count = ones if ones is not None else majority_a
+        return protocol.initial_configuration(count, population - count)
+    if name in ("or", "and"):
+        count = ones if ones is not None else 1
+        return protocol.initial_configuration(count, population - count)
+    if name.startswith("averaging"):
+        return Configuration([(i * 3) % (protocol.max_value + 1) for i in range(population)])
+    if name == "epidemic":
+        return Configuration(["I"] + ["S"] * (population - 1))
+    raise KeyError(f"no default initial configuration for protocol {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# convergence predicates
+# ---------------------------------------------------------------------------
+
+
+def stable_output_predicate(simulator, protocol, initial_projected: Configuration):
+    """Predicate: every agent's simulated output equals the final stable output.
+
+    The expected stable output is derived from the initial configuration
+    where possible (majority opinion, OR/AND value, threshold verdict);
+    protocols without a natural scalar output fall back to "outputs stopped
+    changing", approximated by unanimity of outputs.  This is the default
+    predicate of ``repro run`` for every catalog protocol.
+    """
+    outputs = [protocol.output(state) for state in initial_projected]
+
+    name = protocol.name
+    if name == "pairing":
+        expected_critical = min(initial_projected.count("c"), initial_projected.count("p"))
+        return lambda c: c.project(simulator.project).count("cs") == expected_critical
+    if name == "leader-election":
+        return lambda c: sum(1 for s in c if simulator.project(s) == "L") == 1
+    if name == "exact-majority":
+        count_a = sum(1 for value in outputs if value == "A")
+        expected = "A" if count_a * 2 > len(outputs) else "B"
+        return lambda c: all(protocol.output(simulator.project(s)) == expected for s in c)
+    if name.startswith("averaging"):
+        return lambda c: max(simulator.project(s) for s in c) - min(
+            simulator.project(s) for s in c) <= 1
+    if name.startswith("threshold"):
+        ones = sum(weight for weight, _ in initial_projected)
+        expected = protocol.expected_output(ones)
+        return lambda c: all(protocol.output(simulator.project(s)) == expected for s in c)
+    if name.startswith("mod-") or name == "parity":
+        ones = sum(residue for _, residue in initial_projected)
+        expected = protocol.expected_output(ones)
+        return lambda c: all(protocol.output(simulator.project(s)) == expected for s in c)
+    # Generic boolean predicates: the stable output is determined by the
+    # protocol's own expected_output when available.
+    expected = None
+    if hasattr(protocol, "expected_output"):
+        ones = sum(1 for state in initial_projected if protocol.output(state))
+        try:
+            expected = protocol.expected_output(ones)
+        except TypeError:
+            expected = None
+    if expected is not None:
+        return lambda c: all(protocol.output(simulator.project(s)) == expected for s in c)
+    return lambda c: len({protocol.output(simulator.project(s)) for s in c}) == 1
+
+
+#: Predicate factories ``factory(simulator, protocol, initial_projected) ->
+#: predicate`` by name; called once per run, so returning stateful
+#: incremental predicates is safe.
+PREDICATES: Dict[str, Callable[..., Any]] = {
+    "stable-output": stable_output_predicate,
+}
+
+
+def register_predicate(key: str, factory: Callable[..., Any]) -> None:
+    """Register a convergence-predicate factory under ``key`` (import-time only)."""
+    PREDICATES[key] = factory
+
+
+# ---------------------------------------------------------------------------
+# schedulers
+# ---------------------------------------------------------------------------
+
+
+def _random_scheduler(n, seed=None):
+    return RandomScheduler(n, seed=seed)
+
+
+def _round_robin_scheduler(n, seed=None):
+    return RoundRobinScheduler(n)
+
+
+#: Scheduler factories ``factory(n, seed) -> scheduler`` by name.
+SCHEDULERS: Dict[str, Callable[..., Any]] = {
+    "random": _random_scheduler,
+    "round-robin": _round_robin_scheduler,
+    "ring-graph": ring_scheduler,
+    "star-graph": star_scheduler,
+    "complete-graph": complete_graph_scheduler,
+}
+
+
+def register_scheduler(key: str, factory: Callable[..., Any]) -> None:
+    """Register a scheduler factory under ``key`` (import-time only)."""
+    SCHEDULERS[key] = factory
+
+
+# ---------------------------------------------------------------------------
+# the picklable experiment description
+# ---------------------------------------------------------------------------
+
+
+def _as_items(kwargs) -> Tuple[Tuple[str, Any], ...]:
+    """Normalise a kwargs mapping to a sorted, hashable tuple of pairs."""
+    if kwargs is None:
+        return ()
+    if isinstance(kwargs, dict):
+        return tuple(sorted(kwargs.items()))
+    return tuple(sorted(tuple(pair) for pair in kwargs))
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A fully picklable, hashable description of one experiment family.
+
+    Every field is plain data; live objects (protocol, simulator, model,
+    predicate, scheduler, adversary) are rebuilt from the registries via
+    :meth:`build` — in the parent for the sequential/thread backends, in
+    each worker for the process backend.  Equal specs build behaviourally
+    identical systems, which is why a spec plus a seed fully determines a
+    run and the process backend merges deterministically.
+
+    ``protocol_kwargs``/``scheduler_kwargs`` accept dicts for convenience
+    and are normalised to sorted tuples of pairs so specs stay hashable
+    (the per-process build cache keys on the spec itself).
+    """
+
+    protocol: str
+    population: int
+    protocol_kwargs: Tuple[Tuple[str, Any], ...] = ()
+    model: str = "TW"
+    simulator: str = "none"
+    omission_bound: int = 0
+    omissions: int = 0
+    ones: Optional[int] = None
+    predicate: str = "stable-output"
+    scheduler: str = "random"
+    scheduler_kwargs: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "protocol_kwargs", _as_items(self.protocol_kwargs))
+        object.__setattr__(self, "scheduler_kwargs", _as_items(self.scheduler_kwargs))
+        if self.population < 2:
+            raise ValueError("a population needs at least two agents to interact")
+        if self.omissions < 0 or self.omission_bound < 0:
+            raise ValueError("omission counts must be non-negative")
+
+    def build(self) -> "BuiltExperiment":
+        """Resolve every key and construct the live per-experiment objects."""
+        protocol = get_protocol(self.protocol, **dict(self.protocol_kwargs))
+        model = get_model(self.model)
+        if self.omissions > 0 and not model.allows_omissions:
+            raise ValueError(f"model {model.name} does not admit omissions")
+        initial_projected = default_initial_configuration(
+            protocol, self.population, ones=self.ones)
+        simulator = build_simulator(
+            self.simulator, protocol, self.population, self.omission_bound, self.model)
+        initial_configuration = simulator.initial_configuration(initial_projected)
+        if self.predicate not in PREDICATES:
+            known = ", ".join(sorted(PREDICATES))
+            raise KeyError(
+                f"unknown predicate {self.predicate!r}; known predicates: {known}")
+        if self.scheduler not in SCHEDULERS:
+            known = ", ".join(sorted(SCHEDULERS))
+            raise KeyError(
+                f"unknown scheduler {self.scheduler!r}; known schedulers: {known}")
+        return BuiltExperiment(
+            spec=self,
+            protocol=protocol,
+            model=model,
+            program=simulator,
+            initial_projected=initial_projected,
+            initial_configuration=initial_configuration,
+        )
+
+
+@dataclass
+class BuiltExperiment:
+    """The live (non-picklable) objects resolved from an :class:`ExperimentSpec`.
+
+    ``program`` and ``model`` are stateless and shared across the runs of a
+    worker; predicates, schedulers and adversaries are stateful and built
+    fresh per run through the ``make_*`` factories.
+    """
+
+    spec: ExperimentSpec
+    protocol: Any
+    model: Any
+    program: Any
+    initial_projected: Configuration
+    initial_configuration: Configuration
+
+    def make_predicate(self) -> Any:
+        """A fresh convergence predicate for one run."""
+        return PREDICATES[self.spec.predicate](
+            self.program, self.protocol, self.initial_projected)
+
+    def make_scheduler(self, seed: Optional[int]) -> Any:
+        """A fresh scheduler for one run."""
+        return SCHEDULERS[self.spec.scheduler](
+            len(self.initial_configuration), seed=seed,
+            **dict(self.spec.scheduler_kwargs))
+
+    def make_adversary(self, seed: Optional[int]) -> Optional[Any]:
+        """A fresh omission adversary for one run (``None`` when ``omissions == 0``)."""
+        if self.spec.omissions <= 0:
+            return None
+        return BoundedOmissionAdversary(
+            self.model, max_omissions=self.spec.omissions, seed=seed)
+
+
+#: Per-process cache of built experiments: a process-pool worker receives
+#: the same spec for every run it executes, and the build (protocol +
+#: simulator + initial configuration) is pure, so one build serves them all.
+_BUILD_CACHE: Dict[ExperimentSpec, BuiltExperiment] = {}
+
+
+def build_cached(spec: ExperimentSpec) -> BuiltExperiment:
+    """Build ``spec`` once per process and memoise the result."""
+    built = _BUILD_CACHE.get(spec)
+    if built is None:
+        built = _BUILD_CACHE[spec] = spec.build()
+    return built

@@ -70,6 +70,10 @@ class GraphScheduler(Scheduler):
     uniformly at random, so every admissible ordered pair has the same
     probability; over infinite runs this is globally fair *relative to the
     graph* with probability 1.
+
+    Batched draws (:meth:`Scheduler.next_interactions`) use the inherited
+    per-step fallback, which is bitwise identical by construction; it never
+    exhausts.
     """
 
     def __init__(self, graph: nx.Graph, seed: Optional[int] = None):

@@ -18,7 +18,15 @@ from repro.interaction.omissions import NO_OMISSION, Omission
 
 @dataclass(frozen=True)
 class Interaction:
-    """One ordered interaction ``(starter, reactor)`` with its omission status."""
+    """One ordered interaction ``(starter, reactor)`` with its omission status.
+
+    Note: the batched draw of
+    :meth:`repro.scheduling.scheduler.RandomScheduler.next_interactions`
+    constructs instances by writing these three fields directly into
+    ``__dict__`` (the scheduler guarantees the invariants checked by
+    ``__post_init__``); keep the field set and storage (no ``__slots__``)
+    in sync with that fast path.
+    """
 
     starter: int
     reactor: int

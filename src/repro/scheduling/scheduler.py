@@ -12,31 +12,106 @@ A scripted scheduler replays a fixed :class:`~repro.scheduling.runs.Run`
 search), a weighted scheduler biases pair selection (useful to stress
 fairness-sensitive behaviour), and a round-robin scheduler provides a
 deterministic fair-ish baseline.
+
+Batched draws
+-------------
+
+Every scheduler supports two draw protocols:
+
+* :meth:`Scheduler.next_interaction` — the per-step protocol: one
+  interaction per call, :class:`SchedulerExhausted` when none remain.
+* :meth:`Scheduler.next_interactions` — the batched protocol: up to ``k``
+  interactions per call.  The batched stream is **bitwise identical** to the
+  per-step stream for the same scheduler state (same seed, same position):
+  drawing ``[next_interaction(step + i) for i in range(k)]`` and
+  ``next_interactions(step, k)`` yields the same interactions and leaves the
+  scheduler in the same state.  This contract is pinned by
+  ``tests/test_batched_scheduling.py`` and is what allows the engine's
+  fast path (:mod:`repro.engine.fastpath`) to consume draws in chunks
+  without changing any seeded experiment.
+
+Exhaustion semantics under batching: a batch *shorter than requested* means
+the scheduler ran out mid-batch — the same terminal condition that
+:meth:`next_interaction` reports by raising :class:`SchedulerExhausted`.
+Exhaustion is terminal: once a scheduler has produced a short batch (or
+raised), every later draw yields nothing.  Infinite schedulers (random,
+weighted, round-robin, graph) always return exactly ``k`` interactions.
+
+The base class provides a per-step fallback implementation of
+:meth:`~Scheduler.next_interactions`, so subclasses only override it when a
+vectorized draw is profitable (:class:`RandomScheduler`,
+:class:`WeightedPairScheduler`).
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.interaction.omissions import NO_OMISSION
 from repro.scheduling.runs import Interaction, Run
 
 
 class SchedulerExhausted(Exception):
-    """Raised by finite schedulers (e.g. scripted) when no interactions remain."""
+    """Raised by finite schedulers (e.g. scripted) when no interactions remain.
+
+    Exhaustion is terminal: after raising, a scheduler never produces
+    further interactions (until :meth:`Scheduler.reset`).  Under the batched
+    protocol the same condition surfaces as a batch shorter than requested
+    instead of an exception.
+    """
 
 
 class Scheduler:
-    """Base class: produces the next ordered pair of distinct agent indices."""
+    """Base class: produces ordered pairs of distinct agent indices.
+
+    Subclasses must implement :meth:`next_interaction`; they may override
+    :meth:`next_interactions` with a vectorized draw provided the batched
+    stream stays bitwise identical to the per-step stream.
+    """
 
     def next_interaction(self, step: int) -> Interaction:
-        """Return the interaction to execute at ``step`` (0-based)."""
+        """Return the interaction to execute at ``step`` (0-based).
+
+        Raises :class:`SchedulerExhausted` when the schedule is over; the
+        condition is terminal (see the class docstring).
+        """
         raise NotImplementedError
+
+    def next_interactions(self, step: int, k: int) -> List[Interaction]:
+        """Return the interactions for steps ``step .. step + k - 1``.
+
+        This is the batched counterpart of :meth:`next_interaction` and
+        draws from the same stream: for any split of a run into batches, the
+        concatenated batches equal the per-step sequence exactly (same RNG
+        consumption, same interactions).
+
+        A result shorter than ``k`` (possibly empty) signals exhaustion at
+        step ``step + len(result)`` — the batched equivalent of
+        :class:`SchedulerExhausted` — and is terminal.  ``k <= 0`` returns
+        an empty list without touching the scheduler.
+
+        The default implementation is the per-step fallback: it calls
+        :meth:`next_interaction` ``k`` times and truncates at exhaustion,
+        which is correct (if not vectorized) for every scheduler.
+        """
+        if k <= 0:
+            return []
+        out: List[Interaction] = []
+        append = out.append
+        next_interaction = self.next_interaction
+        for offset in range(k):
+            try:
+                append(next_interaction(step + offset))
+            except SchedulerExhausted:
+                break
+        return out
 
     def reset(self) -> None:
         """Reset any internal state so the scheduler can be reused from step 0."""
 
     def __iter__(self):
+        """Iterate the per-step stream until exhaustion (forever when infinite)."""
         step = 0
         while True:
             try:
@@ -52,6 +127,12 @@ class RandomScheduler(Scheduler):
     Globally fair with probability 1 over infinite runs: every finite
     interaction pattern enabled infinitely often occurs infinitely often
     almost surely.
+
+    The per-step draw order (starter via ``randrange(n)``, then reactor over
+    the remaining ``n - 1`` slots) is part of the seeded-stream contract
+    relied on by experiments and must not change.  The batched draw
+    (:meth:`next_interactions`) consumes the identical RNG stream and is the
+    fast path of the engine's counts-only loop.
     """
 
     def __init__(self, n: int, seed: Optional[int] = None):
@@ -60,14 +141,21 @@ class RandomScheduler(Scheduler):
         self.n = n
         self._seed = seed
         self._rng = random.Random(seed)
+        # Accept-reject bit widths for the inlined batched draw (below):
+        # randrange(m) draws getrandbits(m.bit_length()) until < m.
+        self._starter_bits = n.bit_length()
+        self._reactor_bits = (n - 1).bit_length()
+        self._bind_rng()
+
+    def _bind_rng(self) -> None:
         # The scheduler draw is the hottest non-protocol code on the
-        # counts-only fast path; binding randrange once avoids two
-        # attribute lookups per interaction.  The draw order (starter,
-        # then reactor over n-1 slots) is part of the seeded-stream
-        # contract relied on by experiments, so it must not change.
+        # counts-only fast path; binding the RNG methods once avoids two
+        # attribute lookups per interaction.
         self._randrange = self._rng.randrange
+        self._getrandbits = self._rng.getrandbits
 
     def next_interaction(self, step: int) -> Interaction:
+        """Draw one uniform ordered pair; never exhausts."""
         randrange = self._randrange
         starter = randrange(self.n)
         reactor = randrange(self.n - 1)
@@ -75,9 +163,54 @@ class RandomScheduler(Scheduler):
             reactor += 1
         return Interaction(starter, reactor)
 
+    def next_interactions(self, step: int, k: int) -> List[Interaction]:
+        """Draw ``k`` uniform ordered pairs in one call (never short).
+
+        Bitwise identical to ``k`` calls of :meth:`next_interaction`: the
+        loop below inlines ``Random.randrange``'s accept-reject sampling
+        (``getrandbits(bits)`` redrawn while ``>= bound``), so it consumes
+        exactly the same underlying bit stream — pinned by the batched
+        equivalence tests, which fail loudly if a Python release ever
+        changes ``randrange``'s draw discipline.
+
+        Interactions are built by writing the (already validated: distinct,
+        in-range) fields straight into a fresh instance, bypassing the
+        frozen-dataclass ``__setattr__`` machinery that dominates per-draw
+        cost on the hot path.
+        """
+        if k <= 0:
+            return []
+        getrandbits = self._getrandbits
+        n = self.n
+        starter_bits = self._starter_bits
+        reactor_bound = n - 1
+        reactor_bits = self._reactor_bits
+        new = Interaction.__new__
+        no_omission = NO_OMISSION
+        out: List[Interaction] = []
+        append = out.append
+        for _ in range(k):
+            r = getrandbits(starter_bits)
+            while r >= n:
+                r = getrandbits(starter_bits)
+            starter = r
+            r = getrandbits(reactor_bits)
+            while r >= reactor_bound:
+                r = getrandbits(reactor_bits)
+            if r >= starter:
+                r += 1
+            interaction = new(Interaction)
+            d = interaction.__dict__
+            d["starter"] = starter
+            d["reactor"] = r
+            d["omission"] = no_omission
+            append(interaction)
+        return out
+
     def reset(self) -> None:
+        """Restore the seeded stream to step 0."""
         self._rng = random.Random(self._seed)
-        self._randrange = self._rng.randrange
+        self._bind_rng()
 
 
 class ScriptedScheduler(Scheduler):
@@ -86,6 +219,11 @@ class ScriptedScheduler(Scheduler):
     Optionally falls back to another scheduler once the script is exhausted
     (used to extend a scripted attack prefix into a fair continuation, as
     Definition 4 requires of simulator executions).
+
+    Batched draws use the inherited per-step fallback: a batch that crosses
+    the script/continuation boundary (or the end of the script) is simply
+    shorter or assembled step by step, with the documented exhaustion
+    semantics.
     """
 
     def __init__(self, run: Run, continuation: Optional[Scheduler] = None):
@@ -93,6 +231,7 @@ class ScriptedScheduler(Scheduler):
         self.continuation = continuation
 
     def next_interaction(self, step: int) -> Interaction:
+        """Replay step ``step`` of the script, then delegate to the continuation."""
         if step < len(self.run):
             return self.run[step]
         if self.continuation is not None:
@@ -142,10 +281,25 @@ class WeightedPairScheduler(Scheduler):
         self._rng = random.Random(seed)
 
     def next_interaction(self, step: int) -> Interaction:
+        """Draw one pair with probability proportional to its weight; never exhausts."""
         starter, reactor = self._rng.choices(self._pairs, weights=self._weights, k=1)[0]
         return Interaction(starter, reactor)
 
+    def next_interactions(self, step: int, k: int) -> List[Interaction]:
+        """Draw ``k`` weighted pairs in one call (never short).
+
+        ``random.choices`` consumes one ``random()`` per drawn element
+        regardless of ``k``, so a single ``k``-element call is bitwise
+        identical to ``k`` single-element calls while amortizing the O(W)
+        cumulative-weight construction over the whole batch.
+        """
+        if k <= 0:
+            return []
+        pairs = self._rng.choices(self._pairs, weights=self._weights, k=k)
+        return [Interaction(starter, reactor) for starter, reactor in pairs]
+
     def reset(self) -> None:
+        """Restore the seeded stream to step 0."""
         self._rng = random.Random(self._seed)
 
 
@@ -155,6 +309,9 @@ class RoundRobinScheduler(Scheduler):
     Every ordered pair occurs once every ``n*(n-1)`` steps, so every finite
     execution prefix of length at least ``n*(n-1)`` covers all pairs; this is
     a convenient deterministic stand-in for fairness in unit tests.
+
+    Draws are a pure function of ``step``, so the inherited per-step batched
+    fallback is already exact; it never exhausts.
     """
 
     def __init__(self, n: int):
@@ -169,5 +326,6 @@ class RoundRobinScheduler(Scheduler):
         ]
 
     def next_interaction(self, step: int) -> Interaction:
+        """Return the ``step``-th pair of the lexicographic cycle; never exhausts."""
         starter, reactor = self._pairs[step % len(self._pairs)]
         return Interaction(starter, reactor)

@@ -83,6 +83,68 @@ class TestRunCommand:
         assert "threshold-3" in capsys.readouterr().out
 
 
+class TestRunBackendsAndRing:
+    def test_runs_with_process_backend(self, capsys):
+        exit_code = main([
+            "run", "--protocol", "exact-majority", "--population", "8",
+            "--runs", "4", "--jobs", "2", "--backend", "process",
+            "--trace-policy", "counts-only", "--max-steps", "50000", "--seed", "5",
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "process" in output
+        assert "4/4" in output
+
+    def test_thread_and_process_backends_report_identical_statistics(self, capsys):
+        common = [
+            "run", "--protocol", "exact-majority", "--population", "8",
+            "--runs", "4", "--jobs", "2", "--trace-policy", "counts-only",
+            "--max-steps", "50000", "--seed", "5",
+        ]
+        assert main(common + ["--backend", "thread"]) == 0
+        thread_out = capsys.readouterr().out
+        assert main(common + ["--backend", "process"]) == 0
+        process_out = capsys.readouterr().out
+
+        def stats(output):
+            return [line for line in output.splitlines()
+                    if "interactions to stabilise" in line or "successes" in line]
+
+        assert stats(thread_out) == stats(process_out)
+
+    def test_ring_policy_dumps_last_interactions_on_non_convergence(self, capsys):
+        exit_code = main([
+            "run", "--protocol", "leader-election", "--population", "6",
+            "--trace-policy", "ring", "--ring-size", "5", "--max-steps", "40",
+            "--stability-window", "300", "--seed", "7",
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 1
+        assert "crash dump" in output
+        assert "last 5 interactions" in output
+
+    def test_ring_dump_with_repeated_runs(self, capsys):
+        """--runs > 1 honours --ring-size and dumps failing runs' windows."""
+        exit_code = main([
+            "run", "--protocol", "leader-election", "--population", "6",
+            "--runs", "2", "--trace-policy", "ring", "--ring-size", "4",
+            "--max-steps", "40", "--stability-window", "300", "--seed", "7",
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 1
+        assert "run 0 did not converge" in output
+        assert "last 4 interactions" in output
+
+    def test_ring_policy_silent_on_convergence(self, capsys):
+        exit_code = main([
+            "run", "--protocol", "leader-election", "--population", "4",
+            "--trace-policy", "ring", "--max-steps", "100000", "--seed", "1",
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "crash dump" not in output
+
+
 class TestAttackCommand:
     def test_lemma1_attack_reports_violation(self, capsys):
         exit_code = main(["attack", "lemma1", "--omission-bound", "1"])

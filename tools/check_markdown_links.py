@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links resolve to files in the repository.
+
+Usage::
+
+    python tools/check_markdown_links.py README.md ROADMAP.md docs/
+
+Directories are scanned recursively for ``*.md``.  For every inline link
+``[text](target)``:
+
+* external targets (``http(s)://``, ``mailto:``) are skipped — CI must not
+  depend on the network;
+* pure-anchor targets (``#section``) are skipped;
+* everything else is resolved relative to the linking file (any
+  ``#fragment`` stripped) and must exist on disk.
+
+Exit status 1 when any link is broken, listing every offender.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links only; reference-style links are not used in this repo.
+# Matches [text](target) while ignoring images' leading "!" (checked the same
+# way) and stopping at the first unbalanced ")".
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def iter_markdown_files(arguments: list) -> list:
+    files = []
+    for argument in arguments:
+        path = Path(argument)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        else:
+            files.append(path)
+    return files
+
+
+def check_file(path: Path) -> list:
+    """Return ``(line_number, target)`` for every broken link in ``path``."""
+    broken = []
+    text = path.read_text(encoding="utf-8")
+    in_code_fence = False
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_code_fence = not in_code_fence
+            continue
+        if in_code_fence:
+            continue
+        for match in LINK_PATTERN.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                broken.append((line_number, target))
+    return broken
+
+
+def main(argv: list) -> int:
+    arguments = argv or ["README.md", "ROADMAP.md", "docs"]
+    missing_inputs = [a for a in arguments if not Path(a).exists()]
+    if missing_inputs:
+        print(f"no such file or directory: {', '.join(missing_inputs)}", file=sys.stderr)
+        return 1
+    files = iter_markdown_files(arguments)
+    failures = 0
+    for path in files:
+        for line_number, target in check_file(path):
+            print(f"{path}:{line_number}: broken link -> {target}", file=sys.stderr)
+            failures += 1
+    checked = len(files)
+    if failures:
+        print(f"{failures} broken link(s) across {checked} file(s)", file=sys.stderr)
+        return 1
+    print(f"all relative links resolve ({checked} file(s) checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
