@@ -12,14 +12,16 @@ the TW, I3 and IO interaction models, with and without an omission adversary
     :class:`TraceStep` allocation, O(1) buffer writes, one freeze at the end).
 ``counts-only``
     The fast-path core recording nothing per step, consuming the scheduler
-    through batched draws (the default chunk size).  This is the headline
-    fast path.
+    through batched draws (the default chunk size) — with an adversary,
+    through the budget-aware batched injection protocol on top.  This is
+    the headline fast path.
 ``counts-only/step``
     The same loop forced to ``chunk_size=1`` with the scheduler's batched
     draw overridden by the per-step fallback (``next_interaction`` per
     step, as the pre-batching engine drew) — isolates the batched-draw
-    speedup, since batched and per-step draws execute bitwise-identical
-    runs.
+    speedup, since batched and per-step execution are bitwise identical.
+    On adversary rows this is the per-step injection interleaving, so the
+    same column doubles as the batched-adversary control.
 ``ring``
     The fast-path core keeping only the last 64 steps.
 
@@ -27,11 +29,20 @@ Usage::
 
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py --quick
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py --adversary bounded
 
-The headline numbers at n=10^4 (TW): the ``counts-only`` speedup over
-``legacy`` must be at least 5x, and batched draws must be at least 1.3x
-per-step draws (typically ~2x; the guard is deliberately loose so shared-CI
-noise cannot fail an unrelated change).
+``--adversary`` picks the adversary class attached to the omission-model
+rows: ``uo`` (the flooding UOAdversary, the historical default) or
+``bounded`` (a ``BoundedOmissionAdversary`` with a 64-omission budget — the
+Theorem 4.1 assumption, and what the CI smoke exercises so the batched
+pass-through after budget exhaustion stays on the radar).
+
+Headline guards at n=10^4, failing the benchmark when they regress:
+``counts-only`` must be ≥ 5x ``legacy`` and batched draws ≥ 1.3x per-step
+draws (both TW, no adversary; typically ~2x), and the batched adversary
+pipeline must be ≥ 1.3x its per-step control (I3, adversary attached;
+typically ~2x).  The guards are deliberately loose so shared-CI noise
+cannot fail an unrelated change.
 """
 
 from __future__ import annotations
@@ -41,7 +52,7 @@ import sys
 import time
 from typing import Optional
 
-from repro.adversary.omission import UOAdversary
+from repro.adversary.omission import BoundedOmissionAdversary, UOAdversary
 from repro.analysis.reporting import format_table
 from repro.core.trivial import TrivialTwoWaySimulator
 from repro.engine.engine import SimulationEngine
@@ -60,7 +71,8 @@ MODELS = ("TW", "I3", "IO")
 POLICIES = ("legacy", "full", "counts-only", "counts-only/step", "ring")
 
 
-def build_engine(model_name: str, n: int, seed: int, with_adversary: bool) -> SimulationEngine:
+def build_engine(model_name: str, n: int, seed: int, with_adversary: bool,
+                 adversary_kind: str = "uo") -> SimulationEngine:
     model = get_model(model_name)
     if model.one_way:
         program = OneWayEpidemicProtocol()
@@ -68,7 +80,11 @@ def build_engine(model_name: str, n: int, seed: int, with_adversary: bool) -> Si
         program = TrivialTwoWaySimulator(EpidemicProtocol())
     adversary = None
     if with_adversary:
-        adversary = UOAdversary(model, rate=0.25, max_per_gap=3, seed=seed)
+        if adversary_kind == "bounded":
+            adversary = BoundedOmissionAdversary(
+                model, max_omissions=64, rate=0.5, seed=seed)
+        else:
+            adversary = UOAdversary(model, rate=0.25, max_per_gap=3, seed=seed)
     return SimulationEngine(program, model, RandomScheduler(n, seed=seed), adversary=adversary)
 
 
@@ -115,11 +131,12 @@ def run_fastpath(engine: SimulationEngine, initial: Configuration, steps: int,
     return time.perf_counter() - start
 
 
-def measure(model_name: str, n: int, steps: int, with_adversary: bool, seed: int = 0):
+def measure(model_name: str, n: int, steps: int, with_adversary: bool, seed: int = 0,
+            adversary_kind: str = "uo"):
     """One benchmark cell: interactions/sec per execution path."""
     rates = {}
     for policy in POLICIES:
-        engine = build_engine(model_name, n, seed, with_adversary)
+        engine = build_engine(model_name, n, seed, with_adversary, adversary_kind)
         initial = initial_configuration(n)
         if policy == "legacy":
             elapsed = run_legacy(engine, initial, steps)
@@ -144,6 +161,8 @@ def main(argv: Optional[list] = None) -> int:
                         help="interactions per measurement (default: scaled to n)")
     parser.add_argument("--sizes", type=int, nargs="+", default=None,
                         help="population sizes (default: 100 1000 10000)")
+    parser.add_argument("--adversary", choices=("uo", "bounded"), default="uo",
+                        help="adversary class for the adversary-present rows")
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -154,6 +173,7 @@ def main(argv: Optional[list] = None) -> int:
     rows = []
     headline: Optional[float] = None
     batch_headline: Optional[float] = None
+    adversary_batch_headline: Optional[float] = None
     for model_name in MODELS:
         adversary_options = [False]
         if get_model(model_name).allows_omissions:
@@ -166,12 +186,15 @@ def main(argv: Optional[list] = None) -> int:
                     steps = 2_000
                 else:
                     steps = 20_000 if n >= 10_000 else 50_000
-                rates = measure(model_name, n, steps, with_adversary)
+                rates = measure(model_name, n, steps, with_adversary,
+                                adversary_kind=args.adversary)
                 speedup = rates["counts-only"] / rates["legacy"]
                 batch_speedup = rates["counts-only"] / rates["counts-only/step"]
                 if n == 10_000 and model_name == "TW" and not with_adversary:
                     headline = speedup
                     batch_headline = batch_speedup
+                if n == 10_000 and model_name == "I3" and with_adversary:
+                    adversary_batch_headline = batch_speedup
                 rows.append([
                     model_name,
                     "yes" if with_adversary else "no",
@@ -205,6 +228,14 @@ def main(argv: Optional[list] = None) -> int:
         if batch_headline < 1.3:
             print("FAIL: expected batched draws to be at least 1.3x per-step draws "
                   "at n=10,000", file=sys.stderr)
+            failed = True
+    if adversary_batch_headline is not None:
+        print(f"headline: the batched adversary pipeline is "
+              f"{adversary_batch_headline:.1f}x its per-step control at n=10,000 "
+              f"(I3, {args.adversary} adversary, counts-only)")
+        if adversary_batch_headline < 1.3:
+            print("FAIL: expected the batched adversary pipeline to be at least "
+                  "1.3x per-step execution at n=10,000", file=sys.stderr)
             failed = True
     return 1 if failed else 0
 

@@ -21,16 +21,115 @@ producing.
 * :class:`BoundedOmissionAdversary` — inserts at most ``o`` omissive
   interactions; this realises the "known upper bound on the number of
   omissions" assumption of Theorem 4.1.
+
+The budget-aware batched protocol
+---------------------------------
+
+Adversaries speak two protocols:
+
+* :meth:`OmissionAdversary.interactions_before` — the per-step protocol:
+  the injections for one scheduled interaction, called once per scheduled
+  draw.  The engine truncates the returned list to the remaining step
+  budget (reserving one unit for the scheduled interaction itself).
+* :meth:`OmissionAdversary.plan_interactions` — the budget-aware batched
+  protocol: given a whole *chunk* of scheduled draws and the remaining
+  step budget, the adversary returns a :class:`ChunkPlan` — the exact
+  execution order (injections interleaved before their scheduled
+  interaction) with the budget truncation already applied.
+
+The two are **provably interchangeable**: for any chunking of the
+scheduled stream, concatenating the chunk plans yields exactly the
+interaction sequence of the per-step interleaving, and leaves the
+adversary in the identical internal state (RNG position, omission
+budget).  Three rules make that hold (pinned by
+``tests/test_adversary_batching.py``):
+
+1. injections execute *before* their scheduled interaction, in the order
+   the adversary produced them;
+2. an injection that would leave no budget for its scheduled interaction
+   is **discarded but still consumes the adversary's own omission budget
+   and RNG stream** — exactly as a finite execution prefix truncates the
+   rewritten run of Definitions 1 and 2 without changing the rewriter;
+3. a scheduled interaction is consumed only while at least one unit of
+   budget remains; the walk stops (``ChunkPlan.consumed`` short) the
+   moment the budget cannot cover another scheduled interaction, leaving
+   the adversary exactly where the per-step loop would have left it.
+
+The base-class implementation walks the chunk gap by gap through
+:meth:`interactions_before`, so any subclass (or duck-typed adversary)
+gets a correct batched protocol for free; the concrete adversaries
+override it with vectorized walks that hoist the per-gap method call,
+attribute lookups and empty-list allocations out of the loop — and skip
+RNG work entirely on the pass-through stretches where they can prove no
+injection is possible (``NOAdversary`` past ``active_steps``,
+``BoundedOmissionAdversary`` with an exhausted budget, ``NO1Adversary``
+away from ``inject_at``).
 """
 
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence, Tuple
+from typing import List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.interaction.models import InteractionModel
 from repro.interaction.omissions import Omission
 from repro.scheduling.runs import Interaction
+
+
+class ChunkPlan(NamedTuple):
+    """The execution plan an adversary returns for one chunk of scheduled draws.
+
+    ``interactions`` is the exact execution order: for each consumed
+    scheduled interaction, its (budget-truncated) injections followed by
+    the scheduled interaction itself.  ``consumed`` is how many of the
+    chunk's scheduled interactions the plan covers — short of the chunk
+    length exactly when the step budget ran out mid-chunk, in which case
+    ``len(interactions) == budget`` and the run is over.  ``discarded``
+    counts injections dropped by budget truncation (they still consumed
+    the adversary's own omission budget, rule 2 of the protocol).
+    """
+
+    interactions: List[Interaction]
+    consumed: int
+    discarded: int
+
+
+def plan_interactions_per_step(
+    adversary, step: int, scheduled: Sequence[Interaction], n: int,
+    budget: Optional[int] = None,
+) -> ChunkPlan:
+    """The reference batched walk, in terms of the per-step protocol.
+
+    Reproduces the per-step interleaving for a chunk of scheduled draws:
+    consult ``adversary.interactions_before`` once per gap (advancing the
+    adversary exactly as the per-step loop would), truncate the injections
+    to the remaining budget with one unit reserved for the scheduled
+    interaction, and stop consuming scheduled interactions once the budget
+    cannot cover another one.  Correct for **any** object implementing
+    ``interactions_before`` — this is both the default implementation of
+    :meth:`OmissionAdversary.plan_interactions` and the engine's fallback
+    for duck-typed adversaries that predate the batched protocol.
+    """
+    interactions: List[Interaction] = []
+    consumed = 0
+    discarded = 0
+    remaining = budget
+    for scheduled_interaction in scheduled:
+        if remaining is not None and remaining < 1:
+            break
+        injected = adversary.interactions_before(
+            step=step + consumed, scheduled=scheduled_interaction, n=n)
+        kept = len(injected)
+        if remaining is not None and kept >= remaining:
+            kept = remaining - 1
+            discarded += len(injected) - kept
+            injected = injected[:kept]
+        interactions.extend(injected)
+        interactions.append(scheduled_interaction)
+        consumed += 1
+        if remaining is not None:
+            remaining -= kept + 1
+    return ChunkPlan(interactions, consumed, discarded)
 
 
 class OmissionAdversary:
@@ -41,6 +140,23 @@ class OmissionAdversary:
     ) -> List[Interaction]:
         """The omissive interactions to execute just before the ``step``-th scheduled one."""
         raise NotImplementedError
+
+    def plan_interactions(
+        self, step: int, scheduled: Sequence[Interaction], n: int,
+        budget: Optional[int] = None,
+    ) -> ChunkPlan:
+        """Budget-aware batched protocol: plan a whole chunk of scheduled draws.
+
+        ``scheduled`` holds the scheduler's draws for the scheduled steps
+        ``step .. step + len(scheduled) - 1``; ``budget`` is the number of
+        interactions the engine may still execute (``None`` = unlimited).
+        Returns the :class:`ChunkPlan` equivalent to consulting
+        :meth:`interactions_before` before each scheduled interaction under
+        the per-step budget rules — see the module docstring for the exact
+        contract.  Subclasses override this with vectorized walks; the
+        default delegates to :func:`plan_interactions_per_step`.
+        """
+        return plan_interactions_per_step(self, step, scheduled, n, budget)
 
     def reset(self) -> None:
         """Reset internal state (budgets, RNG) so the adversary can be reused."""
@@ -55,6 +171,17 @@ class OmissionAdversary:
             reactor += 1
         return starter, reactor
 
+    @staticmethod
+    def _pass_through(
+        scheduled: Sequence[Interaction], budget: Optional[int], discarded: int = 0
+    ) -> ChunkPlan:
+        """A plan that injects nothing: the scheduled chunk, clipped to ``budget``."""
+        count = len(scheduled)
+        if budget is not None and budget < count:
+            count = budget
+            scheduled = scheduled[:count]
+        return ChunkPlan(list(scheduled), count, discarded)
+
 
 class NoOmissionAdversary(OmissionAdversary):
     """The trivial adversary that never injects anything."""
@@ -63,6 +190,12 @@ class NoOmissionAdversary(OmissionAdversary):
         self, step: int, scheduled: Interaction, n: int
     ) -> List[Interaction]:
         return []
+
+    def plan_interactions(
+        self, step: int, scheduled: Sequence[Interaction], n: int,
+        budget: Optional[int] = None,
+    ) -> ChunkPlan:
+        return self._pass_through(scheduled, budget)
 
 
 class _RandomOmissionMixin:
@@ -87,6 +220,49 @@ class _RandomOmissionMixin:
 
     def _reset_rng(self) -> None:
         self._rng = random.Random(self._seed)
+
+    def _geometric_walk(
+        self,
+        scheduled: Sequence[Interaction],
+        n: int,
+        budget: Optional[int],
+        plan: List[Interaction],
+    ) -> Tuple[int, int, int, Optional[int]]:
+        """Vectorized per-gap geometric injection walk (UO/NO adversaries).
+
+        Appends the per-step interleaving for ``scheduled`` to ``plan``,
+        drawing ``self._rng`` exactly as repeated ``interactions_before``
+        calls would (one ``random()`` per attempted injection, three draws
+        per constructed one — constructed even when budget truncation then
+        discards it, rule 2 of the protocol).  Reads ``self.rate`` and
+        ``self.max_per_gap``.  Returns ``(consumed, discarded, injected,
+        remaining_budget)`` so callers can update ``total_injected`` and
+        continue past the walk (``NOAdversary`` pass-through tail).
+        """
+        probability = self.rate / (1.0 + self.rate)
+        max_per_gap = self.max_per_gap
+        rng_random = self._rng.random
+        make = self._make_omissive_interaction
+        append = plan.append
+        remaining = budget
+        consumed = discarded = injected = 0
+        for scheduled_interaction in scheduled:
+            if remaining is not None and remaining < 1:
+                break
+            count = 0
+            while count < max_per_gap and rng_random() < probability:
+                count += 1
+                interaction = make(n)
+                if remaining is None or count < remaining:
+                    append(interaction)
+            if remaining is not None:
+                kept = count if count < remaining else remaining - 1
+                discarded += count - kept
+                remaining -= kept + 1
+            injected += count
+            append(scheduled_interaction)
+            consumed += 1
+        return consumed, discarded, injected, remaining
 
 
 class UOAdversary(_RandomOmissionMixin, OmissionAdversary):
@@ -123,6 +299,15 @@ class UOAdversary(_RandomOmissionMixin, OmissionAdversary):
             injected.append(self._make_omissive_interaction(n))
         self.total_injected += len(injected)
         return injected
+
+    def plan_interactions(
+        self, step: int, scheduled: Sequence[Interaction], n: int,
+        budget: Optional[int] = None,
+    ) -> ChunkPlan:
+        plan: List[Interaction] = []
+        consumed, discarded, injected, _ = self._geometric_walk(scheduled, n, budget, plan)
+        self.total_injected += injected
+        return ChunkPlan(plan, consumed, discarded)
 
     def reset(self) -> None:
         self._reset_rng()
@@ -164,6 +349,28 @@ class NOAdversary(_RandomOmissionMixin, OmissionAdversary):
         self.total_injected += len(injected)
         return injected
 
+    def plan_interactions(
+        self, step: int, scheduled: Sequence[Interaction], n: int,
+        budget: Optional[int] = None,
+    ) -> ChunkPlan:
+        active = self.active_steps - step
+        if active <= 0:
+            # Past the active prefix: no injections, no RNG — the whole
+            # chunk is a pass-through (this is where NO runs regain the
+            # full adversary-free batching speed).
+            return self._pass_through(scheduled, budget)
+        head = scheduled[:active]
+        plan: List[Interaction] = []
+        consumed, discarded, injected, remaining = self._geometric_walk(
+            head, n, budget, plan)
+        self.total_injected += injected
+        tail = scheduled[active:]
+        if tail and consumed == len(head):
+            passthrough = self._pass_through(tail, remaining)
+            plan.extend(passthrough.interactions)
+            consumed += passthrough.consumed
+        return ChunkPlan(plan, consumed, discarded)
+
     def reset(self) -> None:
         self._reset_rng()
         self.total_injected = 0
@@ -203,6 +410,51 @@ class BoundedOmissionAdversary(_RandomOmissionMixin, OmissionAdversary):
         self.total_injected += 1
         return [self._make_omissive_interaction(n)]
 
+    def plan_interactions(
+        self, step: int, scheduled: Sequence[Interaction], n: int,
+        budget: Optional[int] = None,
+    ) -> ChunkPlan:
+        total = self.total_injected
+        max_omissions = self.max_omissions
+        if total >= max_omissions:
+            # Omission budget spent: the rest of the run is a pass-through
+            # with no RNG consumption (matches the per-step early return).
+            return self._pass_through(scheduled, budget)
+        rate = self.rate
+        rng_random = self._rng.random
+        make = self._make_omissive_interaction
+        plan: List[Interaction] = []
+        append = plan.append
+        remaining = budget
+        consumed = discarded = 0
+        index = 0
+        count = len(scheduled)
+        while index < count and total < max_omissions:
+            if remaining is not None and remaining < 1:
+                self.total_injected = total
+                return ChunkPlan(plan, consumed, discarded)
+            scheduled_interaction = scheduled[index]
+            index += 1
+            if rng_random() < rate:
+                total += 1
+                interaction = make(n)
+                if remaining is None or remaining >= 2:
+                    append(interaction)
+                    if remaining is not None:
+                        remaining -= 1
+                else:
+                    discarded += 1
+            append(scheduled_interaction)
+            consumed += 1
+            if remaining is not None:
+                remaining -= 1
+        self.total_injected = total
+        if index < count:
+            passthrough = self._pass_through(scheduled[index:], remaining)
+            plan.extend(passthrough.interactions)
+            consumed += passthrough.consumed
+        return ChunkPlan(plan, consumed, discarded)
+
     def reset(self) -> None:
         self._reset_rng()
         self.total_injected = 0
@@ -238,3 +490,19 @@ class NO1Adversary(BoundedOmissionAdversary):
             omission = self._rng.choice(self._omissive_kinds)
             return [Interaction(starter, reactor, omission=omission)]
         return [self._make_omissive_interaction(n)]
+
+    def plan_interactions(
+        self, step: int, scheduled: Sequence[Interaction], n: int,
+        budget: Optional[int] = None,
+    ) -> ChunkPlan:
+        if self.total_injected >= 1 or not (
+            step <= self.inject_at < step + len(scheduled)
+        ):
+            # The single omission is spent or pinned outside this chunk:
+            # pure pass-through, no RNG.  (inject_at < step can only mean
+            # "spent or unreachable" since scheduled steps never rewind.)
+            return self._pass_through(scheduled, budget)
+        # The pinned gap is inside the chunk; the reference walk consults
+        # interactions_before per gap, which is exactly NO1's semantics
+        # (and costs one method call per gap on at most one chunk per run).
+        return plan_interactions_per_step(self, step, scheduled, n, budget)

@@ -86,6 +86,10 @@ def _command_run(args) -> int:
         raise SystemExit("--runs must be at least 1")
     if args.jobs < 1:
         raise SystemExit("--jobs must be at least 1")
+    if args.run_chunk < 1:
+        raise SystemExit("--run-chunk must be at least 1")
+    if args.chunk_size is not None and args.chunk_size < 1:
+        raise SystemExit("--chunk-size must be at least 1")
 
     if args.runs > 1:
         return _run_repeated(args, protocol, model, simulator, protocol_kwargs)
@@ -102,7 +106,8 @@ def _command_run(args) -> int:
     outcome = run_until_stable(engine, config, predicate, max_steps=args.max_steps,
                                stability_window=args.stability_window,
                                trace_policy=args.trace_policy,
-                               ring_size=args.ring_size)
+                               ring_size=args.ring_size,
+                               chunk_size=args.chunk_size)
 
     report = None
     if args.trace_policy == "full":
@@ -163,6 +168,7 @@ def _run_repeated(args, protocol, model, simulator, protocol_kwargs) -> int:
         ones=args.ones,
         predicate="stable-output",
         scheduler="random",
+        chunk_size=args.chunk_size,
     )
 
     validate = None
@@ -185,6 +191,7 @@ def _run_repeated(args, protocol, model, simulator, protocol_kwargs) -> int:
         jobs_backend=args.backend,
         trace_policy=args.trace_policy,
         ring_size=args.ring_size,
+        run_chunk=args.run_chunk,
     )
 
     mean = result.mean_convergence_steps
@@ -293,6 +300,15 @@ def build_parser() -> argparse.ArgumentParser:
                             help="fan-out backend for --runs > 1: thread shares live "
                                  "objects (GIL-bound); process ships picklable registry "
                                  "keys + seeds to a ProcessPoolExecutor")
+    run_parser.add_argument("--run-chunk", type=int, default=1,
+                            help="consecutive seeds shipped per executor task for "
+                                 "--runs > 1; larger chunks amortize the per-run "
+                                 "pickling that dominates short runs on --backend "
+                                 "process (results are identical for every value)")
+    run_parser.add_argument("--chunk-size", type=int, default=None,
+                            help="scheduled draws per batched scheduler call inside "
+                                 "the engine (default 256; 1 reproduces the per-step "
+                                 "loop; results are identical for every value)")
     run_parser.add_argument("--trace-policy", choices=("full", "counts-only", "ring"),
                             default="full",
                             help="full: record every step and verify the simulation; "

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Tuple
 
 from repro.engine.engine import SimulationEngine
-from repro.engine.fastpath import as_incremental, make_recorder, run_core
+from repro.engine.fastpath import DEFAULT_CHUNK_SIZE, as_incremental, make_recorder, run_core
 from repro.engine.trace import Trace, TraceStep
 from repro.protocols.state import Configuration, MutableConfiguration
 
@@ -85,6 +85,7 @@ def run_until_stable(
     *,
     trace_policy: str = "full",
     ring_size: Optional[int] = None,
+    chunk_size: Optional[int] = None,
 ) -> ConvergenceResult:
     """Run until ``predicate`` holds for ``stability_window + 1`` consecutive configurations.
 
@@ -108,6 +109,11 @@ def run_until_stable(
         :class:`Trace`; ``"counts-only"`` records nothing per step (the
         result's ``trace`` is ``None``) and is the fast path for large
         populations; ``"ring"`` keeps only the last ``ring_size`` steps.
+    chunk_size:
+        Scheduled draws per batched scheduler call, forwarded to
+        :func:`~repro.engine.fastpath.run_core` (default
+        :data:`~repro.engine.fastpath.DEFAULT_CHUNK_SIZE`).  Purely a
+        performance knob: results are chunking-independent.
 
     Notes
     -----
@@ -116,10 +122,14 @@ def run_until_stable(
     configuration of the final stable streak) can be smaller than
     ``steps_executed``.
 
-    Adversary-free runs consume the scheduler through batched draws
-    (bitwise identical to per-step draws, so results are unchanged); when
-    convergence stops the run mid-chunk, the scheduler may have been
-    advanced past the last executed interaction.
+    Every run consumes the scheduler through batched draws (bitwise
+    identical to per-step draws, with adversary injections planned through
+    the budget-aware batched protocol, so results are unchanged); when
+    convergence stops the run mid-chunk, the scheduler — and the internal
+    state of an attached adversary, which planned the chunk before the
+    stop fired — may have been advanced past the last executed
+    interaction (see :mod:`repro.engine.fastpath`; build a fresh
+    adversary per run rather than reusing one across runs).
     """
     recorder = make_recorder(trace_policy, ring_size)
     buffer = MutableConfiguration(initial_configuration)
@@ -169,6 +179,7 @@ def run_until_stable(
         recorder,
         max_steps,
         on_step=on_step,
+        chunk_size=chunk_size if chunk_size is not None else DEFAULT_CHUNK_SIZE,
     )
 
     final = buffer.freeze()

@@ -106,17 +106,22 @@ class SimulationEngine:
         executed interaction (scheduled or adversary-injected) counts
         towards ``max_steps``.
 
-        Budget semantics: a scheduled interaction is drawn only while budget
-        remains and, once drawn, always executes; adversary injections that
-        would leave it no budget are discarded.  A stop condition firing
-        mid-batch skips the rest of that batch.
+        Budget semantics: a scheduled interaction is consumed only while
+        budget remains and, once consumed, always executes; adversary
+        injections that would leave it no budget are discarded (still
+        charging the adversary's own omission budget).  A stop condition
+        firing mid-batch skips the rest of that batch.
 
-        Adversary-free runs consume the scheduler in chunks of up to
-        ``chunk_size`` batched draws (default
-        :data:`~repro.engine.fastpath.DEFAULT_CHUNK_SIZE`); because batched
-        draws are bitwise identical to per-step draws, the result is
-        independent of ``chunk_size`` (``1`` reproduces the per-step loop).
-        See :mod:`repro.engine.fastpath` for the full contract.
+        Every run consumes the scheduler in chunks of up to ``chunk_size``
+        batched draws (default
+        :data:`~repro.engine.fastpath.DEFAULT_CHUNK_SIZE`); with an
+        adversary, each chunk goes through the budget-aware batched
+        injection protocol
+        (:meth:`~repro.adversary.omission.OmissionAdversary.plan_interactions`).
+        Batched draws and chunk plans are bitwise identical to their
+        per-step counterparts, so the result is independent of
+        ``chunk_size`` (``1`` reproduces the per-step loop).  See
+        :mod:`repro.engine.fastpath` for the full contract.
         """
         if max_steps < 0:
             raise EngineError("max_steps must be non-negative")

@@ -21,9 +21,17 @@ Two fan-out backends are available for ``runs > 1``:
     (:mod:`repro.protocols.registry`).  This sidesteps the GIL for
     CPU-heavy protocols at the cost of per-run result pickling.
 
-Both backends merge results in run-index order, so for a given spec and
-seed the aggregate :class:`ExperimentResult` is identical across
-sequential, thread and process execution.
+For short runs that pickling dominates: ``run_chunk=K`` ships seeds in
+batches of ``K`` consecutive run indices per executor task
+(:func:`run_spec_batch`), amortizing task submission and result transfer
+over the whole batch — one future, one pickled list, instead of ``K`` of
+each.  Batches are merged per-batch in submission order, so the aggregate
+stays deterministic.
+
+Whatever the backend and chunking, results merge in run-index order, so
+for a given spec and seed the aggregate :class:`ExperimentResult` is
+identical across sequential, thread and process execution and across
+every ``run_chunk``.
 """
 
 from __future__ import annotations
@@ -136,7 +144,34 @@ def run_spec(
         stability_window=stability_window,
         trace_policy=trace_policy,
         ring_size=ring_size,
+        chunk_size=spec.chunk_size,
     )
+
+
+def run_spec_batch(
+    spec: ExperimentSpec,
+    start_index: int,
+    count: int,
+    base_seed: int,
+    max_steps: int,
+    stability_window: int,
+    trace_policy: str,
+    ring_size: Optional[int] = None,
+) -> List[ConvergenceResult]:
+    """Execute ``count`` consecutive seeded runs of ``spec`` in one worker task.
+
+    The chunked-fan-out worker (``run_chunk > 1``): one submitted task —
+    and, on the process backend, one pickled argument tuple and one
+    pickled result list — covers run indices ``start_index ..
+    start_index + count - 1``, amortizing the per-run dispatch overhead
+    that dominates short runs.  Results come back in run-index order.
+    """
+    return [
+        run_spec(
+            spec, start_index + offset, base_seed, max_steps, stability_window,
+            trace_policy, ring_size)
+        for offset in range(count)
+    ]
 
 
 def repeat_experiment(
@@ -156,6 +191,7 @@ def repeat_experiment(
     jobs_backend: str = "thread",
     spec: Optional[ExperimentSpec] = None,
     ring_size: Optional[int] = None,
+    run_chunk: int = 1,
 ) -> ExperimentResult:
     """Run the same system ``runs`` times with different scheduler seeds.
 
@@ -213,9 +249,17 @@ def repeat_experiment(
         Window size forwarded to :func:`run_until_stable` under the
         ``ring`` trace policy; the trailing windows of the first few
         failed runs surface on ``ExperimentResult.failure_dumps``.
+    run_chunk:
+        Consecutive run indices shipped per executor task (default 1).
+        Larger chunks amortize per-run task submission — and, on the
+        process backend, per-run argument/result pickling, which
+        dominates short runs — at the cost of coarser load balancing.
+        Purely a throughput knob: results are identical for every value.
     """
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
+    if run_chunk < 1:
+        raise ValueError("run_chunk must be at least 1")
     if jobs_backend not in JOBS_BACKENDS:
         raise ValueError(
             f"unknown jobs_backend {jobs_backend!r}; expected one of {JOBS_BACKENDS}")
@@ -301,38 +345,49 @@ def repeat_experiment(
         workers = min(jobs, runs)
         if jobs_backend == "process":
             with ProcessPoolExecutor(max_workers=workers) as executor:
-                submit = lambda run_index: executor.submit(  # noqa: E731
-                    run_spec, spec, run_index, base_seed, max_steps,
+                submit = lambda start, count: executor.submit(  # noqa: E731
+                    run_spec_batch, spec, start, count, base_seed, max_steps,
                     stability_window, policy, ring_size)
-                _merge_windowed(submit, runs, workers, merge)
+                _merge_windowed(submit, runs, run_chunk, workers, merge)
         else:
+            def execute_batch(start: int, count: int) -> List[ConvergenceResult]:
+                return [execute_run(start + offset) for offset in range(count)]
+
             with ThreadPoolExecutor(max_workers=workers) as executor:
-                submit = lambda run_index: executor.submit(  # noqa: E731
-                    execute_run, run_index)
-                _merge_windowed(submit, runs, workers, merge)
+                submit = lambda start, count: executor.submit(  # noqa: E731
+                    execute_batch, start, count)
+                _merge_windowed(submit, runs, run_chunk, workers, merge)
     else:
         for run_index in range(runs):
             merge(run_index, execute_run(run_index))
     return result
 
 
-def _merge_windowed(submit, runs: int, workers: int, merge) -> None:
-    """Submit ``runs`` futures, merging in submission order as they stream in.
+def _merge_windowed(submit, runs: int, run_chunk: int, workers: int, merge) -> None:
+    """Submit batch futures, merging in submission order as they stream in.
 
-    Keeps at most ``2 * workers`` runs outstanding: with full traces,
-    materialising every :class:`ConvergenceResult` (or letting completed
-    futures pile up behind a slow early run) would hold up to
-    ``runs x max_steps`` steps in memory.  Merging strictly in submission
-    order is what makes the fan-out deterministic.
+    ``submit(start, count)`` must return a future resolving to the
+    :class:`ConvergenceResult` list for run indices ``start .. start +
+    count - 1``; runs are carved into batches of ``run_chunk`` consecutive
+    indices.  Keeps at most ``2 * workers`` batches outstanding: with full
+    traces, materialising every result (or letting completed futures pile
+    up behind a slow early batch) would hold up to ``runs x max_steps``
+    steps in memory.  Merging strictly in submission order is what makes
+    the fan-out deterministic for every backend and chunking.
     """
     window = 2 * workers
     pending: deque = deque()
     merged = 0
-    for run_index in range(runs):
-        pending.append(submit(run_index))
-        if len(pending) >= window:
-            merge(merged, pending.popleft().result())
+
+    def drain_one() -> None:
+        nonlocal merged
+        for outcome in pending.popleft().result():
+            merge(merged, outcome)
             merged += 1
+
+    for start in range(0, runs, run_chunk):
+        pending.append(submit(start, min(run_chunk, runs - start)))
+        if len(pending) >= window:
+            drain_one()
     while pending:
-        merge(merged, pending.popleft().result())
-        merged += 1
+        drain_one()

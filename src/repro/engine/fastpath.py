@@ -42,27 +42,52 @@ Budget semantics (the seed had two subtly different accountings):
   interactions of the batch (possibly including the scheduled one) are not
   executed.
 
-Batched scheduler draws:
+Batched draws — one chunked loop for every run:
 
-Adversary-free runs consume the scheduler through the batched protocol
+All runs consume the scheduler through the batched protocol
 (:meth:`~repro.scheduling.scheduler.Scheduler.next_interactions`), drawing
 up to :data:`DEFAULT_CHUNK_SIZE` interactions per call.  Because batched
 draws are bitwise identical to per-step draws (the scheduler contract),
 chunking changes no executed interaction, count or final configuration —
-only the Python-level overhead per step.  Chunks are clipped to the
-remaining budget, so a run that exhausts its budget never over-draws; a
-*stop condition* ending the run mid-chunk, however, leaves the scheduler
-advanced to the end of the current chunk (the per-step loop already allowed
-a drawn scheduled interaction to go unexecuted when a stop fired before it;
-results are unaffected because abandoned draws never execute).
+only the Python-level overhead per step.
 
-Runs with an adversary keep per-step draws: the injection-truncation rule
-above depends on the *live* budget at each scheduled draw, so drawing ahead
-would either change which injections are discarded or advance the scheduler
-past interactions that never execute.  The interleaving — injections before
-their scheduled interaction, consulted once per scheduled draw, in draw
-order — is exactly the per-step semantics pinned by the fastpath-vs-legacy
-equivalence suite.
+Runs with an adversary feed each drawn chunk, together with the remaining
+step budget, to the adversary's budget-aware batched protocol
+(:meth:`~repro.adversary.omission.OmissionAdversary.plan_interactions`):
+the adversary returns the chunk's exact execution order — injections
+interleaved before their scheduled interaction, already truncated to the
+budget, with discarded injections still charged against the adversary's
+own omission budget — provably identical to consulting the per-step
+:meth:`~repro.adversary.omission.OmissionAdversary.interactions_before`
+at every scheduled draw (the contract pinned by
+``tests/test_adversary_batching.py``).  Duck-typed adversaries that only
+implement ``interactions_before`` are wrapped in the reference walk
+(:func:`~repro.adversary.omission.plan_interactions_per_step`)
+automatically.
+
+Chunks are clipped to the remaining budget (one scheduled draw consumes at
+least one unit), so an adversary-free run that exhausts its budget never
+over-draws.  Two events can end a run mid-chunk and leave the scheduler
+advanced to the end of the current chunk: a *stop condition* firing, and
+adversary injections consuming the budget before the chunk's last
+scheduled interaction (the per-step loop would not have drawn those last
+interactions at all).  Results — executed interactions, counts, traces,
+final configurations — are unaffected in both cases because abandoned
+draws and planned-but-unexecuted injections never execute.  On *budget
+exhaustion* the adversary's plan walk stops consuming exactly where the
+per-step loop would, so its end state is chunking-independent too.  On a
+*stop condition*, however, the chunk was already planned when the stop
+fired, so the adversary — like the scheduler — may have advanced its
+internal state (RNG position, omission-budget counters such as
+``total_injected``) up to the end of the current chunk.  That lookahead
+is faithful to the paper's model — the run rewriters of Definitions 1
+and 2 rewrite the run ahead of wherever a finite execution prefix stops —
+and is observable only by inspecting or reusing (without ``reset()``) an
+adversary object after an early-stopped run, which nothing in this
+repository does: ``repeat_experiment``, the CLI and the registry's
+``make_adversary`` all build fresh adversaries per run.  The contract is
+pinned by ``tests/test_adversary_batching.py``
+(``test_stop_mid_chunk_adversary_lookahead_is_chunk_bounded``).
 """
 
 from __future__ import annotations
@@ -75,7 +100,7 @@ from repro.engine.trace import Trace, TraceStep
 from repro.interaction.models import InteractionModel
 from repro.protocols.state import Configuration, MutableConfiguration, State
 from repro.scheduling.runs import Interaction
-from repro.scheduling.scheduler import Scheduler, SchedulerExhausted
+from repro.scheduling.scheduler import Scheduler
 
 #: The selectable trace policies, in decreasing order of detail.
 TRACE_POLICIES = ("full", "counts-only", "ring")
@@ -358,18 +383,24 @@ def run_core(
 ) -> Tuple[int, bool]:
     """Execute up to ``max_steps`` interactions against ``buffer`` in place.
 
-    This is the single step loop behind every public entry point.
-    Adversary-free runs draw scheduled interactions in chunks of up to
-    ``chunk_size`` through the batched scheduler protocol; runs with an
-    ``adversary`` draw per step and let it inject omissive interactions
-    before each scheduled one.  Either way, every executed interaction is
-    applied through ``model`` with two O(1) buffer writes, its deltas are
-    fed to ``recorder``, and ``on_step`` (when given) may end the run by
-    returning ``True``.  Chunking never changes results — batched draws are
-    bitwise identical to per-step draws — so ``chunk_size`` is purely a
-    performance knob (``1`` reproduces the per-step loop exactly, including
-    scheduler advancement on early stops).  See the module docstring for
-    the exact budget, batching and exhaustion semantics.
+    This is the single step loop behind every public entry point: one
+    chunked loop for adversary-present and adversary-free runs alike.
+    Scheduled interactions are drawn in chunks of up to ``chunk_size``
+    through the batched scheduler protocol; with an ``adversary``, each
+    chunk (plus the remaining budget) goes through the budget-aware
+    injection protocol, which returns the chunk's exact execution order —
+    injections before their scheduled interaction, budget truncation
+    already applied.  Every executed interaction is applied through
+    ``model`` with two O(1) buffer writes, its deltas are fed to
+    ``recorder``, and ``on_step`` (when given) may end the run by
+    returning ``True``.  Chunking never changes results — batched draws
+    and chunk plans are bitwise identical to their per-step counterparts —
+    so ``chunk_size`` is purely a performance knob (``1`` reproduces the
+    per-step loop exactly, including scheduler and adversary advancement
+    on early stops; after a stop-condition end at larger chunk sizes, the
+    scheduler's and adversary's *internal* positions may sit past the
+    last executed interaction).  See the module docstring for the exact
+    budget, batching, stop and exhaustion semantics.
 
     Returns ``(executed, stopped)``: the number of executed interactions and
     whether ``on_step`` requested the stop.
@@ -385,80 +416,64 @@ def run_core(
     # hot enough to care about.  Predicates holding a reference to `buffer`
     # still observe every write (same list).
     states = buffer._states
-
-    if adversary is None:
-        next_interactions = scheduler.next_interactions
-        while executed < max_steps:
-            budget = max_steps - executed
-            k = chunk_size if budget > chunk_size else int(budget)
-            chunk = next_interactions(scheduler_step, k)
-            scheduler_step += len(chunk)
-            if on_step is None:
-                for interaction in chunk:
-                    starter = interaction.starter
-                    reactor = interaction.reactor
-                    starter_pre = states[starter]
-                    reactor_pre = states[reactor]
-                    starter_post, reactor_post = model_apply(
-                        program, starter_pre, reactor_pre, interaction.omission
-                    )
-                    states[starter] = starter_post
-                    states[reactor] = reactor_post
-                    record(interaction, starter_pre, starter_post, reactor_pre, reactor_post)
-                executed += len(chunk)
-            else:
-                for interaction in chunk:
-                    starter = interaction.starter
-                    reactor = interaction.reactor
-                    starter_pre = states[starter]
-                    reactor_pre = states[reactor]
-                    starter_post, reactor_post = model_apply(
-                        program, starter_pre, reactor_pre, interaction.omission
-                    )
-                    states[starter] = starter_post
-                    states[reactor] = reactor_post
-                    record(interaction, starter_pre, starter_post, reactor_pre, reactor_post)
-                    executed += 1
-                    if on_step(
-                        interaction, starter_pre, starter_post, reactor_pre, reactor_post
-                    ):
-                        return executed, True
-            if len(chunk) < k:
-                break  # exhausted mid-chunk; terminal by the scheduler contract
-        return executed, False
-
     n = len(states)
+    next_interactions = scheduler.next_interactions
+
+    plan_chunk = None
+    if adversary is not None:
+        plan_chunk = getattr(adversary, "plan_interactions", None)
+        if plan_chunk is None:
+            # Duck-typed adversary speaking only the per-step protocol:
+            # wrap it in the reference walk.  Imported lazily because the
+            # adversary package sits above the engine in the layer map
+            # (its constructions import engine.py).
+            from repro.adversary.omission import plan_interactions_per_step
+
+            def plan_chunk(step, chunk, n, budget, _adversary=adversary):
+                return plan_interactions_per_step(_adversary, step, chunk, n, budget)
+
+    infinite = max_steps == float("inf")
     while executed < max_steps:
-        try:
-            scheduled = scheduler.next_interaction(scheduler_step)
-        except SchedulerExhausted:
-            break
-        scheduler_step += 1
-
-        injected = adversary.interactions_before(
-            step=scheduler_step - 1, scheduled=scheduled, n=n
-        )
-        # Reserve one budget unit for the scheduled interaction: the
-        # scheduler has committed to it, so it must execute.
-        room = int(max_steps - executed - 1) if max_steps != float("inf") else None
-        if room is not None and len(injected) > room:
-            injected = injected[:room]
-
-        for interaction in (*injected, scheduled):
-            starter = interaction.starter
-            reactor = interaction.reactor
-            starter_pre = states[starter]
-            reactor_pre = states[reactor]
-            starter_post, reactor_post = model_apply(
-                program, starter_pre, reactor_pre, interaction.omission
+        budget = max_steps - executed
+        k = chunk_size if budget > chunk_size else int(budget)
+        chunk = next_interactions(scheduler_step, k)
+        if plan_chunk is None:
+            plan = chunk
+        else:
+            plan, _consumed, _discarded = plan_chunk(
+                scheduler_step, chunk, n, None if infinite else int(budget)
             )
-            states[starter] = starter_post
-            states[reactor] = reactor_post
-            record(interaction, starter_pre, starter_post, reactor_pre, reactor_post)
-            executed += 1
-            if on_step is not None and on_step(
-                interaction, starter_pre, starter_post, reactor_pre, reactor_post
-            ):
-                return executed, True
-
+        scheduler_step += len(chunk)
+        if on_step is None:
+            for interaction in plan:
+                starter = interaction.starter
+                reactor = interaction.reactor
+                starter_pre = states[starter]
+                reactor_pre = states[reactor]
+                starter_post, reactor_post = model_apply(
+                    program, starter_pre, reactor_pre, interaction.omission
+                )
+                states[starter] = starter_post
+                states[reactor] = reactor_post
+                record(interaction, starter_pre, starter_post, reactor_pre, reactor_post)
+            executed += len(plan)
+        else:
+            for interaction in plan:
+                starter = interaction.starter
+                reactor = interaction.reactor
+                starter_pre = states[starter]
+                reactor_pre = states[reactor]
+                starter_post, reactor_post = model_apply(
+                    program, starter_pre, reactor_pre, interaction.omission
+                )
+                states[starter] = starter_post
+                states[reactor] = reactor_post
+                record(interaction, starter_pre, starter_post, reactor_pre, reactor_post)
+                executed += 1
+                if on_step(
+                    interaction, starter_pre, starter_post, reactor_pre, reactor_post
+                ):
+                    return executed, True
+        if len(chunk) < k:
+            break  # exhausted mid-chunk; terminal by the scheduler contract
     return executed, False

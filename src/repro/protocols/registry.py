@@ -24,16 +24,25 @@ Registries
   predicates are safe under any backend).
 * :data:`SCHEDULERS` — scheduler factories ``factory(n, seed)``.
 
-Extending: call :func:`register_predicate` / :func:`register_scheduler` /
-:func:`register_simulator` at import time of your own module.  Keys
-resolve *inside each worker process*, so the registering module must be
-imported there too — register at module top level, not inside functions.
+Extending: call :func:`register_protocol` / :func:`register_predicate` /
+:func:`register_scheduler` / :func:`register_simulator` at import time of
+your own module.  Keys resolve *inside each worker process*, so the
+registering module must be imported there too — register at module top
+level, not inside functions.
+
+Third-party packages do not even need an explicit import: any installed
+distribution may advertise ``repro.protocols`` entry points
+(:data:`ENTRY_POINT_GROUP`), which this module discovers through
+``importlib.metadata`` at import time and loads into the registries — see
+:func:`load_entry_points`.  Because discovery runs wherever this module is
+imported, entry-point-registered keys resolve in process-pool workers too.
 """
 
 from __future__ import annotations
 
+import importlib.metadata
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.adversary.omission import BoundedOmissionAdversary
 from repro.core.naming import KnownSizeSimulator
@@ -53,6 +62,11 @@ from repro.scheduling.scheduler import RandomScheduler, RoundRobinScheduler
 #: Protocol constructors by catalog name (the catalog registry, re-exported
 #: so every registry an :class:`ExperimentSpec` key can hit lives here).
 PROTOCOLS: Dict[str, Callable[..., Any]] = CATALOG
+
+
+def register_protocol(key: str, factory: Callable[..., Any]) -> None:
+    """Register a protocol constructor under ``key`` (import-time only)."""
+    PROTOCOLS[key] = factory
 
 
 # ---------------------------------------------------------------------------
@@ -257,6 +271,12 @@ class ExperimentSpec:
     ``protocol_kwargs``/``scheduler_kwargs`` accept dicts for convenience
     and are normalised to sorted tuples of pairs so specs stay hashable
     (the per-process build cache keys on the spec itself).
+
+    ``chunk_size`` is the engine's batched-draw chunk (``None`` = the
+    engine default).  It is carried on the spec so the CLI and the
+    process backend can thread it to every worker, but it is purely a
+    performance knob: results are chunking-independent by the batched
+    protocols' equivalence contracts.
     """
 
     protocol: str
@@ -270,6 +290,7 @@ class ExperimentSpec:
     predicate: str = "stable-output"
     scheduler: str = "random"
     scheduler_kwargs: Tuple[Tuple[str, Any], ...] = ()
+    chunk_size: Optional[int] = None
 
     def __post_init__(self):
         object.__setattr__(self, "protocol_kwargs", _as_items(self.protocol_kwargs))
@@ -278,6 +299,8 @@ class ExperimentSpec:
             raise ValueError("a population needs at least two agents to interact")
         if self.omissions < 0 or self.omission_bound < 0:
             raise ValueError("omission counts must be non-negative")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
 
     def build(self) -> "BuiltExperiment":
         """Resolve every key and construct the live per-experiment objects."""
@@ -355,3 +378,68 @@ def build_cached(spec: ExperimentSpec) -> BuiltExperiment:
     if built is None:
         built = _BUILD_CACHE[spec] = spec.build()
     return built
+
+
+# ---------------------------------------------------------------------------
+# entry-point discovery
+# ---------------------------------------------------------------------------
+
+#: The ``importlib.metadata`` entry-point group third-party distributions
+#: use to extend the registries without being imported explicitly.
+ENTRY_POINT_GROUP = "repro.protocols"
+
+#: Entry points already loaded (``(name, value)`` pairs), so repeated
+#: discovery — e.g. a test calling :func:`load_entry_points` after the
+#: import-time pass — stays idempotent.
+_LOADED_ENTRY_POINTS: set = set()
+
+#: Entry points that failed to load at import time, by name.  One broken
+#: third-party distribution must not break ``import repro``; failures are
+#: recorded here instead of raised (and re-raised only when
+#: :func:`load_entry_points` is called with ``strict=True``).
+ENTRY_POINT_ERRORS: Dict[str, str] = {}
+
+
+def load_entry_points(
+    entries: Optional[Iterable[Any]] = None, *, strict: bool = False
+) -> List[str]:
+    """Discover and load ``repro.protocols`` entry points into the registries.
+
+    Each entry point's value is loaded with ``EntryPoint.load()``.  A
+    loaded *callable* is invoked with no arguments — the conventional shape
+    is a ``register()`` function calling :func:`register_protocol` /
+    :func:`register_predicate` / :func:`register_scheduler` /
+    :func:`register_simulator`.  Any other loaded object (typically a
+    module) is assumed to have registered itself as an import side effect,
+    which is exactly the contract the ``register_*`` hooks already demand.
+
+    ``entries`` overrides discovery (used by tests to inject stub entry
+    points); by default the installed distributions are scanned via
+    ``importlib.metadata.entry_points``.  Returns the names loaded by this
+    call; entries seen before are skipped.  Load failures are recorded in
+    :data:`ENTRY_POINT_ERRORS` (or raised when ``strict``).
+    """
+    if entries is None:
+        entries = importlib.metadata.entry_points(group=ENTRY_POINT_GROUP)
+    loaded: List[str] = []
+    for entry_point in entries:
+        key = (entry_point.name, entry_point.value)
+        if key in _LOADED_ENTRY_POINTS:
+            continue
+        try:
+            target = entry_point.load()
+            if callable(target):
+                target()
+        except Exception as error:  # noqa: BLE001 - isolate broken dists
+            if strict:
+                raise
+            ENTRY_POINT_ERRORS[entry_point.name] = f"{type(error).__name__}: {error}"
+            continue
+        _LOADED_ENTRY_POINTS.add(key)
+        loaded.append(entry_point.name)
+    return loaded
+
+
+# Import-time discovery: runs in every process that imports the registry,
+# so entry-point keys resolve inside process-pool workers too.
+load_entry_points()

@@ -33,6 +33,7 @@ from typing import List, Optional, Tuple
 
 import networkx as nx
 
+from repro.interaction.omissions import NO_OMISSION
 from repro.scheduling.runs import Interaction
 from repro.scheduling.scheduler import Scheduler
 
@@ -71,9 +72,8 @@ class GraphScheduler(Scheduler):
     probability; over infinite runs this is globally fair *relative to the
     graph* with probability 1.
 
-    Batched draws (:meth:`Scheduler.next_interactions`) use the inherited
-    per-step fallback, which is bitwise identical by construction; it never
-    exhausts.
+    Batched draws (:meth:`next_interactions`) are vectorized and bitwise
+    identical to the per-step stream; the scheduler never exhausts.
     """
 
     def __init__(self, graph: nx.Graph, seed: Optional[int] = None):
@@ -82,8 +82,17 @@ class GraphScheduler(Scheduler):
         self.graph = graph
         self.n = n
         self._edges: List[Tuple[int, int]] = [tuple(sorted(edge)) for edge in graph.edges]
+        # Accept-reject bit width for the inlined batched draw:
+        # Random.choice(seq) draws getrandbits(len(seq).bit_length()) until
+        # the result indexes the sequence.
+        self._edge_bits = len(self._edges).bit_length()
         self._seed = seed
         self._rng = random.Random(seed)
+        self._bind_rng()
+
+    def _bind_rng(self) -> None:
+        self._getrandbits = self._rng.getrandbits
+        self._random = self._rng.random
 
     def next_interaction(self, step: int) -> Interaction:
         first, second = self._rng.choice(self._edges)
@@ -91,8 +100,49 @@ class GraphScheduler(Scheduler):
             return Interaction(first, second)
         return Interaction(second, first)
 
+    def next_interactions(self, step: int, k: int) -> List[Interaction]:
+        """Draw ``k`` graph-admissible ordered pairs in one call (never short).
+
+        Bitwise identical to ``k`` calls of :meth:`next_interaction`: the
+        loop inlines ``Random.choice``'s accept-reject index sampling
+        (``getrandbits(bits)`` redrawn while it overshoots the edge list)
+        followed by the orientation coin, consuming exactly the per-step
+        RNG stream — pinned by the batched equivalence tests.  Instances
+        are built by writing the (already graph-validated) fields straight
+        into ``Interaction.__dict__``, as the other vectorized schedulers
+        do, bypassing the frozen-dataclass machinery on the hot path.
+        """
+        if k <= 0:
+            return []
+        getrandbits = self._getrandbits
+        rng_random = self._random
+        edges = self._edges
+        edge_count = len(edges)
+        edge_bits = self._edge_bits
+        new = Interaction.__new__
+        no_omission = NO_OMISSION
+        out: List[Interaction] = []
+        append = out.append
+        for _ in range(k):
+            r = getrandbits(edge_bits)
+            while r >= edge_count:
+                r = getrandbits(edge_bits)
+            first, second = edges[r]
+            if rng_random() < 0.5:
+                starter, reactor = first, second
+            else:
+                starter, reactor = second, first
+            interaction = new(Interaction)
+            d = interaction.__dict__
+            d["starter"] = starter
+            d["reactor"] = reactor
+            d["omission"] = no_omission
+            append(interaction)
+        return out
+
     def reset(self) -> None:
         self._rng = random.Random(self._seed)
+        self._bind_rng()
 
     def ordered_pairs(self) -> List[Tuple[int, int]]:
         """All ordered pairs this scheduler can ever produce."""

@@ -40,7 +40,8 @@ weighted, round-robin, graph) always return exactly ``k`` interactions.
 The base class provides a per-step fallback implementation of
 :meth:`~Scheduler.next_interactions`, so subclasses only override it when a
 vectorized draw is profitable (:class:`RandomScheduler`,
-:class:`WeightedPairScheduler`).
+:class:`WeightedPairScheduler`,
+:class:`~repro.scheduling.graph_scheduler.GraphScheduler`).
 """
 
 from __future__ import annotations

@@ -347,6 +347,48 @@ class TestProcessBackend:
         assert [index for index, _steps in result.failure_dumps] == [0, 1, 2]
         assert all(len(steps) == 4 for _index, steps in result.failure_dumps)
 
+    @pytest.mark.parametrize("backend_kwargs", [
+        {"jobs": 3, "run_chunk": 2},
+        {"jobs": 2, "run_chunk": 3, "jobs_backend": "process"},
+        {"jobs": 2, "run_chunk": 100, "jobs_backend": "process"},  # > runs
+    ])
+    def test_run_chunking_merges_identically(self, backend_kwargs):
+        """Shipping seeds in batches per executor task changes nothing."""
+        reference = self._run()
+        result = self._run(**backend_kwargs)
+        assert result.runs == reference.runs
+        assert result.successes == reference.successes
+        assert result.convergence_steps == reference.convergence_steps
+        assert result.failures == reference.failures
+
+    def test_run_chunking_keeps_failure_dump_order(self):
+        spec = ExperimentSpec(protocol="leader-election", population=6)
+        result = repeat_experiment(
+            spec=spec, runs=5, max_steps=30, stability_window=300,
+            base_seed=0, trace_policy="ring", ring_size=4,
+            jobs=2, jobs_backend="process", run_chunk=2)
+        assert result.successes == 0
+        assert [index for index, _steps in result.failure_dumps] == [0, 1, 2]
+
+    def test_invalid_run_chunk_rejected(self):
+        with pytest.raises(ValueError, match="run_chunk"):
+            self._run(run_chunk=0)
+
+    @pytest.mark.parametrize("chunk_size", [1, 7, 1024])
+    def test_spec_chunk_size_changes_no_result(self, chunk_size):
+        reference = self._run()
+        spec = ExperimentSpec(
+            protocol="exact-majority", population=8, chunk_size=chunk_size)
+        result = repeat_experiment(
+            spec=spec, runs=6, max_steps=20_000, base_seed=42,
+            jobs=2, jobs_backend="process")
+        assert result.successes == reference.successes
+        assert result.convergence_steps == reference.convergence_steps
+
+    def test_invalid_spec_chunk_size_rejected(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            ExperimentSpec(protocol="epidemic", population=4, chunk_size=0)
+
     def test_seeded_final_configurations_identical_across_backends(self):
         """Acceptance pin: per-step draws, batched draws and the process
         backend all land on the same final configuration for a fixed seed."""

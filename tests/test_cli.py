@@ -112,6 +112,39 @@ class TestRunBackendsAndRing:
 
         assert stats(thread_out) == stats(process_out)
 
+    def test_run_chunk_and_chunk_size_preserve_statistics(self, capsys):
+        common = [
+            "run", "--protocol", "exact-majority", "--population", "8",
+            "--runs", "5", "--jobs", "2", "--trace-policy", "counts-only",
+            "--max-steps", "50000", "--seed", "5", "--backend", "process",
+        ]
+        assert main(common) == 0
+        reference_out = capsys.readouterr().out
+        assert main(common + ["--run-chunk", "2", "--chunk-size", "16"]) == 0
+        chunked_out = capsys.readouterr().out
+
+        def stats(output):
+            return [line for line in output.splitlines()
+                    if "interactions to stabilise" in line or "successes" in line]
+
+        assert stats(chunked_out) == stats(reference_out)
+
+    def test_chunk_size_on_single_runs(self, capsys):
+        exit_code = main([
+            "run", "--protocol", "exact-majority", "--population", "8",
+            "--seed", "1", "--max-steps", "50000", "--chunk-size", "1",
+        ])
+        assert exit_code == 0
+        assert "converged" in capsys.readouterr().out
+
+    def test_invalid_run_chunk_rejected(self):
+        with pytest.raises(SystemExit, match="run-chunk"):
+            main(["run", "--runs", "2", "--run-chunk", "0"])
+
+    def test_invalid_chunk_size_rejected(self):
+        with pytest.raises(SystemExit, match="chunk-size"):
+            main(["run", "--chunk-size", "0"])
+
     def test_ring_policy_dumps_last_interactions_on_non_convergence(self, capsys):
         exit_code = main([
             "run", "--protocol", "leader-election", "--population", "6",

@@ -1,0 +1,133 @@
+"""Entry-point discovery: third-party registrations without explicit imports.
+
+A distribution advertising ``repro.protocols`` entry points gets its
+protocols/predicates/schedulers/simulators loaded into the registries of
+:mod:`repro.protocols.registry` at import time.  These tests build a stub
+distribution in-process: a module injected into ``sys.modules`` plus real
+``importlib.metadata.EntryPoint`` objects pointing into it, fed through
+:func:`load_entry_points` both directly and via a monkeypatched
+``entry_points()`` discovery call.
+"""
+
+import importlib.metadata
+import sys
+import types
+
+import pytest
+
+from repro.engine.experiment import repeat_experiment
+from repro.protocols import registry
+from repro.protocols.catalog.epidemic import EpidemicProtocol
+from repro.scheduling.scheduler import RoundRobinScheduler
+
+
+@pytest.fixture
+def stub_distribution(monkeypatch):
+    """A fake installed package registering one of everything, plus a broken
+    entry point; yields the module so tests can inspect its call count."""
+    module = types.ModuleType("repro_thirdparty_stub")
+    module.register_calls = 0
+
+    def register():
+        module.register_calls += 1
+        registry.register_protocol("stub-epidemic", EpidemicProtocol)
+        registry.register_scheduler(
+            "stub-round-robin", lambda n, seed=None: RoundRobinScheduler(n))
+        registry.register_predicate(
+            "stub-always", lambda simulator, protocol, initial: lambda c: True)
+        registry.register_simulator(
+            "stub-none", registry.SIMULATORS["none"])
+
+    def explode():
+        raise RuntimeError("broken third-party distribution")
+
+    module.register = register
+    module.explode = explode
+    monkeypatch.setitem(sys.modules, "repro_thirdparty_stub", module)
+
+    for key, table in (
+        ("stub-epidemic", registry.PROTOCOLS),
+        ("stub-round-robin", registry.SCHEDULERS),
+        ("stub-always", registry.PREDICATES),
+        ("stub-none", registry.SIMULATORS),
+    ):
+        assert key not in table
+
+    yield module
+
+    # Entry points are module-level state: scrub what the test loaded.
+    registry.PROTOCOLS.pop("stub-epidemic", None)
+    registry.SCHEDULERS.pop("stub-round-robin", None)
+    registry.PREDICATES.pop("stub-always", None)
+    registry.SIMULATORS.pop("stub-none", None)
+    registry._LOADED_ENTRY_POINTS.difference_update(
+        {name_value for name_value in registry._LOADED_ENTRY_POINTS
+         if name_value[1].startswith("repro_thirdparty_stub")})
+    registry.ENTRY_POINT_ERRORS.pop("stub-broken", None)
+
+
+def entry_point(name, value):
+    return importlib.metadata.EntryPoint(name, value, registry.ENTRY_POINT_GROUP)
+
+
+class TestLoadEntryPoints:
+    def test_stub_distribution_registers_everything(self, stub_distribution):
+        loaded = registry.load_entry_points(
+            [entry_point("stub", "repro_thirdparty_stub:register")])
+        assert loaded == ["stub"]
+        assert registry.PROTOCOLS["stub-epidemic"] is EpidemicProtocol
+        assert "stub-round-robin" in registry.SCHEDULERS
+        assert "stub-always" in registry.PREDICATES
+        assert "stub-none" in registry.SIMULATORS
+
+    def test_loading_is_idempotent(self, stub_distribution):
+        entries = [entry_point("stub", "repro_thirdparty_stub:register")]
+        assert registry.load_entry_points(entries) == ["stub"]
+        assert registry.load_entry_points(entries) == []
+        assert stub_distribution.register_calls == 1
+
+    def test_module_valued_entry_point_loads_by_import(self, stub_distribution):
+        """A bare-module entry point relies on import side effects; loading
+        it must not raise and must mark it as seen."""
+        entries = [entry_point("stub-module", "repro_thirdparty_stub")]
+        assert registry.load_entry_points(entries) == ["stub-module"]
+        assert registry.load_entry_points(entries) == []
+        assert stub_distribution.register_calls == 0  # never called
+
+    def test_broken_entry_point_is_isolated(self, stub_distribution):
+        loaded = registry.load_entry_points([
+            entry_point("stub-broken", "repro_thirdparty_stub:explode"),
+            entry_point("stub", "repro_thirdparty_stub:register"),
+        ])
+        assert loaded == ["stub"]  # the good one still loads
+        assert "broken third-party distribution" in \
+            registry.ENTRY_POINT_ERRORS["stub-broken"]
+
+    def test_strict_mode_raises(self, stub_distribution):
+        with pytest.raises(RuntimeError, match="broken third-party"):
+            registry.load_entry_points(
+                [entry_point("stub-broken", "repro_thirdparty_stub:explode")],
+                strict=True)
+
+    def test_discovery_scans_the_group(self, stub_distribution, monkeypatch):
+        """The no-argument call discovers through importlib.metadata."""
+        def fake_entry_points(*, group):
+            assert group == registry.ENTRY_POINT_GROUP
+            return [entry_point("stub", "repro_thirdparty_stub:register")]
+
+        monkeypatch.setattr(
+            registry.importlib.metadata, "entry_points", fake_entry_points)
+        assert registry.load_entry_points() == ["stub"]
+
+
+class TestEntryPointKeysDriveExperiments:
+    def test_spec_resolves_entry_point_keys(self, stub_distribution):
+        registry.load_entry_points(
+            [entry_point("stub", "repro_thirdparty_stub:register")])
+        spec = registry.ExperimentSpec(
+            protocol="stub-epidemic", population=5,
+            predicate="stub-always", scheduler="stub-round-robin",
+            simulator="stub-none")
+        result = repeat_experiment(spec=spec, runs=2, max_steps=100, base_seed=0)
+        assert result.runs == 2
+        assert result.all_succeeded  # stub predicate holds immediately
