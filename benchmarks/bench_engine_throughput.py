@@ -30,6 +30,7 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py --quick
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py --adversary bounded
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py --backend array
 
 ``--adversary`` picks the adversary class attached to the omission-model
 rows: ``uo`` (the flooding UOAdversary, the historical default) or
@@ -37,12 +38,18 @@ rows: ``uo`` (the flooding UOAdversary, the historical default) or
 Theorem 4.1 assumption, and what the CI smoke exercises so the batched
 pass-through after budget exhaustion stays on the radar).
 
-Headline guards at n=10^4, failing the benchmark when they regress:
-``counts-only`` must be ≥ 5x ``legacy`` and batched draws ≥ 1.3x per-step
-draws (both TW, no adversary; typically ~2x), and the batched adversary
-pipeline must be ≥ 1.3x its per-step control (I3, adversary attached;
-typically ~2x).  The guards are deliberately loose so shared-CI noise
-cannot fail an unrelated change.
+``--backend array`` switches to the execution-backend comparison: the
+columnar numpy array engine (``repro[fast]`` extra) versus the python fast
+path, counts-only, on two catalog protocols at n = 10^4 and 10^5.  Its
+guard: at n = 10^5 the array backend must be **≥ 5x** the python backend on
+*both* protocols (typically 8-13x; run in the CI numpy job).
+
+Headline guards at n=10^4 in the default mode, failing the benchmark when
+they regress: ``counts-only`` must be ≥ 5x ``legacy`` and batched draws
+≥ 1.3x per-step draws (both TW, no adversary; typically ~2x), and the
+batched adversary pipeline must be ≥ 1.3x its per-step control (I3,
+adversary attached; typically ~2x).  The guards are deliberately loose so
+shared-CI noise cannot fail an unrelated change.
 """
 
 from __future__ import annotations
@@ -64,11 +71,28 @@ from repro.protocols.catalog.epidemic import (
     EpidemicProtocol,
     OneWayEpidemicProtocol,
 )
+from repro.protocols.catalog.leader_election import LEADER, LeaderElectionProtocol
 from repro.protocols.state import Configuration
 from repro.scheduling.scheduler import RandomScheduler, Scheduler, SchedulerExhausted
 
 MODELS = ("TW", "I3", "IO")
 POLICIES = ("legacy", "full", "counts-only", "counts-only/step", "ring")
+
+#: Catalog workloads of the ``--backend array`` comparison; the ≥5x guard
+#: must hold on every one of them.
+ARRAY_WORKLOADS = (
+    ("epidemic",
+     lambda: TrivialTwoWaySimulator(EpidemicProtocol()),
+     lambda n: Configuration([INFORMED] + [SUSCEPTIBLE] * (n - 1))),
+    ("leader-election",
+     lambda: TrivialTwoWaySimulator(LeaderElectionProtocol()),
+     lambda n: Configuration([LEADER] * n)),
+)
+
+#: The array guard's population and factor (acceptance criterion: ≥5x the
+#: python fast path at n=10^5 on at least two catalog protocols).
+ARRAY_GUARD_POPULATION = 100_000
+ARRAY_GUARD_FACTOR = 5.0
 
 
 def build_engine(model_name: str, n: int, seed: int, with_adversary: bool,
@@ -153,6 +177,61 @@ def measure(model_name: str, n: int, steps: int, with_adversary: bool, seed: int
     return rates
 
 
+def run_backend_comparison(args) -> int:
+    """``--backend array``: columnar engine vs. python fast path, counts-only.
+
+    Both backends execute pure budget runs (``SimulationEngine.execute``,
+    no predicate) from the same seed; the array backend gets a longer
+    budget because measuring 10^6+ it/s over a python-sized budget would
+    be all fixed cost.
+    """
+    sizes = args.sizes or [10_000, ARRAY_GUARD_POPULATION]
+    if ARRAY_GUARD_POPULATION not in sizes:
+        sizes = sorted(sizes + [ARRAY_GUARD_POPULATION])
+    python_steps = args.steps or (50_000 if args.quick else 200_000)
+    array_steps = python_steps * 5
+
+    rows = []
+    guarded_speedups = []
+    for protocol_name, make_program, make_initial in ARRAY_WORKLOADS:
+        for n in sizes:
+            rates = {}
+            for backend, steps in (("python", python_steps), ("array", array_steps)):
+                engine = SimulationEngine(
+                    make_program(), get_model("TW"),
+                    RandomScheduler(n, seed=0), backend=backend)
+                initial = make_initial(n)
+                start = time.perf_counter()
+                engine.execute(initial, steps, trace_policy="counts-only")
+                elapsed = time.perf_counter() - start
+                rates[backend] = steps / elapsed if elapsed > 0 else float("inf")
+            speedup = rates["array"] / rates["python"]
+            if n == ARRAY_GUARD_POPULATION:
+                guarded_speedups.append((protocol_name, speedup))
+            rows.append([
+                protocol_name, n,
+                f"{rates['python']:,.0f}", f"{rates['array']:,.0f}",
+                f"{speedup:.1f}x",
+            ])
+
+    print(format_table(
+        ["protocol", "n", "python counts-only it/s", "array counts-only it/s",
+         "array vs python"],
+        rows,
+    ))
+    print()
+    failed = False
+    for protocol_name, speedup in guarded_speedups:
+        print(f"headline: array backend is {speedup:.1f}x the python fast path "
+              f"at n={ARRAY_GUARD_POPULATION:,} ({protocol_name})")
+        if speedup < ARRAY_GUARD_FACTOR:
+            print(f"FAIL: expected at least {ARRAY_GUARD_FACTOR:.0f}x at "
+                  f"n={ARRAY_GUARD_POPULATION:,} on {protocol_name}",
+                  file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -163,7 +242,14 @@ def main(argv: Optional[list] = None) -> int:
                         help="population sizes (default: 100 1000 10000)")
     parser.add_argument("--adversary", choices=("uo", "bounded"), default="uo",
                         help="adversary class for the adversary-present rows")
+    parser.add_argument("--backend", choices=("python", "array"), default="python",
+                        help="python: the historical trace-policy comparison; "
+                             "array: the execution-backend comparison with its "
+                             "≥5x guard at n=100,000 (needs numpy)")
     args = parser.parse_args(argv)
+
+    if args.backend == "array":
+        return run_backend_comparison(args)
 
     if args.quick:
         sizes = args.sizes or [100, 1000]

@@ -11,8 +11,25 @@ checkable cells from scratch:
   Theorem 3.1 cells, the NO1 single-omission attack for Theorem 3.2 cells)
   and observing the predicted safety or liveness failure.
 
+Every positive cell is checked under **two interaction topologies**: the
+complete graph (the paper's model — a uniform random scheduler) and a ring
+interaction graph (:func:`repro.scheduling.graph_scheduler.ring_scheduler`).
+The ``SKnO`` and ``SID`` simulators are topology-agnostic — they only
+consume a stream of admissible interactions — so those possibility results
+must survive the restriction to any connected graph; the ``graph (ring)``
+column shows that they do.  The knowledge-of-``n`` cells are the exception,
+*by construction*: the naming protocol ``Nn`` assigns ids through
+same-id collisions, which assumes any two agents can eventually meet.  On
+a ring it deadlocks whenever the provisional ids reach a configuration
+with no two equal ids adjacent (e.g. ids ``1,2,3,1,2`` around a 5-ring:
+no enabled interaction changes any state, so global fairness cannot
+rescue it).  Those cells are therefore checked on the complete graph only
+and report ``n/a`` in the graph column.  Negative cells are attack
+replays with scripted interaction sequences, where a scheduler family
+does not apply.
+
 The assertion is that the empirical verdicts agree with the paper's map on
-every checked cell.
+every checked cell, under both topologies.
 """
 
 from __future__ import annotations
@@ -41,13 +58,22 @@ from repro.interaction.adapters import one_way_as_two_way
 from repro.interaction.models import IO, get_model
 from repro.protocols.catalog.pairing import PairingProtocol
 from repro.protocols.state import Configuration
+from repro.scheduling.graph_scheduler import ring_scheduler
 from repro.scheduling.scheduler import RandomScheduler
 
 MAX_STEPS = 150_000
 WINDOW = 200
 
+#: Interaction topologies every positive cell is re-checked under:
+#: ``factory(n, seed) -> scheduler``.
+TOPOLOGIES = {
+    "complete": lambda n, seed: RandomScheduler(n, seed=seed),
+    "ring": ring_scheduler,
+}
 
-def _check_simulation_possible(simulator, model, omission_budget=0, seed=0):
+
+def _check_simulation_possible(simulator, model, omission_budget=0, seed=0,
+                               topology="complete"):
     """Run the Pairing workload through a simulator and verify it end to end."""
     protocol = simulator.protocol
     p_config = Configuration(["c", "c", "p", "p", "p"])
@@ -62,8 +88,8 @@ def _check_simulation_possible(simulator, model, omission_budget=0, seed=0):
         if omission_budget > 0 and model.allows_omissions
         else None
     )
-    engine = SimulationEngine(simulator, model, RandomScheduler(len(config), seed=seed),
-                              adversary=adversary)
+    scheduler = TOPOLOGIES[topology](len(config), seed)
+    engine = SimulationEngine(simulator, model, scheduler, adversary=adversary)
     expected_critical = min(p_config.count("c"), p_config.count("p"))
     # Incremental predicate: O(1) per step instead of an O(n) projection
     # rescan.  The full trace is still recorded — verify_simulation needs it.
@@ -93,33 +119,59 @@ def _check_simulation_impossible_no1(model_name):
     return result.liveness_violated or result.safety_violated
 
 
+def _check_positive_on_all_topologies(make_simulator, model, omission_budget=0, seed=0,
+                                      topologies=tuple(TOPOLOGIES)):
+    """Verdicts of one positive cell per topology (``{topology: bool}``).
+
+    ``topologies`` restricts the check for constructions that assume the
+    complete interaction graph (the knowledge-of-``n`` naming phase; see
+    the module docstring).
+    """
+    return {
+        topology: _check_simulation_possible(
+            make_simulator(), model, omission_budget=omission_budget, seed=seed,
+            topology=topology)
+        for topology in topologies
+    }
+
+
 def empirical_cells():
-    """Run all empirical checks and return {(model, assumption): verdict}."""
+    """Run all empirical checks and return {(model, assumption): verdict}.
+
+    Positive cells map to ``{topology: bool}`` dicts (one verdict per
+    interaction topology), negative cells to a plain bool (attacks replay
+    scripted interaction sequences; topologies do not apply).
+    """
     protocol = PairingProtocol()
     verdicts = {}
 
     # Positive cells: knowledge of the omission bound (Theorem 4.1 / Corollary 1).
-    verdicts[("I3", KNOWLEDGE_OF_OMISSIONS)] = _check_simulation_possible(
-        SKnOSimulator(protocol, omission_bound=1), get_model("I3"), omission_budget=1, seed=1)
-    verdicts[("I4", KNOWLEDGE_OF_OMISSIONS)] = _check_simulation_possible(
-        SKnOSimulator(protocol, omission_bound=1, variant="I4"), get_model("I4"),
+    verdicts[("I3", KNOWLEDGE_OF_OMISSIONS)] = _check_positive_on_all_topologies(
+        lambda: SKnOSimulator(protocol, omission_bound=1), get_model("I3"),
+        omission_budget=1, seed=1)
+    verdicts[("I4", KNOWLEDGE_OF_OMISSIONS)] = _check_positive_on_all_topologies(
+        lambda: SKnOSimulator(protocol, omission_bound=1, variant="I4"), get_model("I4"),
         omission_budget=1, seed=2)
-    verdicts[("IT", KNOWLEDGE_OF_OMISSIONS)] = _check_simulation_possible(
-        SKnOSimulator(protocol, omission_bound=0), get_model("IT"), seed=3)
+    verdicts[("IT", KNOWLEDGE_OF_OMISSIONS)] = _check_positive_on_all_topologies(
+        lambda: SKnOSimulator(protocol, omission_bound=0), get_model("IT"), seed=3)
     verdicts[("IT", INFINITE_MEMORY)] = verdicts[("IT", KNOWLEDGE_OF_OMISSIONS)]
-    verdicts[("T3", KNOWLEDGE_OF_OMISSIONS)] = _check_simulation_possible(
-        one_way_as_two_way(SKnOSimulator(protocol, omission_bound=1)), get_model("T3"),
-        omission_budget=1, seed=4)
+    verdicts[("T3", KNOWLEDGE_OF_OMISSIONS)] = _check_positive_on_all_topologies(
+        lambda: one_way_as_two_way(SKnOSimulator(protocol, omission_bound=1)),
+        get_model("T3"), omission_budget=1, seed=4)
 
     # Positive cells: unique IDs and knowledge of n (Theorems 4.5, 4.6).
-    verdicts[("IO", UNIQUE_IDS)] = _check_simulation_possible(
-        SIDSimulator(protocol), IO, seed=5)
-    verdicts[("IT", UNIQUE_IDS)] = _check_simulation_possible(
-        SIDSimulator(protocol), get_model("IT"), seed=6)
-    verdicts[("IO", KNOWLEDGE_OF_N)] = _check_simulation_possible(
-        KnownSizeSimulator(protocol, population_size=5), IO, seed=7)
-    verdicts[("IT", KNOWLEDGE_OF_N)] = _check_simulation_possible(
-        KnownSizeSimulator(protocol, population_size=5), get_model("IT"), seed=8)
+    verdicts[("IO", UNIQUE_IDS)] = _check_positive_on_all_topologies(
+        lambda: SIDSimulator(protocol), IO, seed=5)
+    verdicts[("IT", UNIQUE_IDS)] = _check_positive_on_all_topologies(
+        lambda: SIDSimulator(protocol), get_model("IT"), seed=6)
+    # Complete graph only: the Nn naming phase deadlocks on sparse
+    # topologies (see the module docstring).
+    verdicts[("IO", KNOWLEDGE_OF_N)] = _check_positive_on_all_topologies(
+        lambda: KnownSizeSimulator(protocol, population_size=5), IO, seed=7,
+        topologies=("complete",))
+    verdicts[("IT", KNOWLEDGE_OF_N)] = _check_positive_on_all_topologies(
+        lambda: KnownSizeSimulator(protocol, population_size=5), get_model("IT"), seed=8,
+        topologies=("complete",))
 
     # Negative cells: Theorem 3.1 (Lemma 1 attack) and Theorem 3.2 (NO1 attack).
     lemma1 = _check_simulation_impossible_lemma1()
@@ -142,23 +194,31 @@ def test_figure_4_results_map(benchmark, table_printer):
     for (model, assumption), verdict in sorted(verdicts.items()):
         cell = cells[(model, assumption)]
         if cell.feasibility is Feasibility.POSSIBLE:
-            agrees = verdict
-            meaning = "simulation verified" if verdict else "simulation FAILED"
+            agrees = all(verdict.values())
+            meaning = ("simulation verified" if agrees
+                       else "simulation FAILED")
+            if "ring" not in verdict:
+                graph = "n/a (Nn needs complete graph)"
+            else:
+                graph = "verified" if verdict["ring"] else "FAILED"
         elif cell.feasibility is Feasibility.IMPOSSIBLE:
             agrees = verdict
             meaning = "attack breaks simulator" if verdict else "attack FAILED to break"
+            graph = "-"
         else:
             agrees = True
             meaning = "not checked"
+            graph = "-"
         overrides[(model, assumption)] = cell.label() + ("+" if agrees else "!")
         rows.append([model, assumption, cell.feasibility.value, cell.source, meaning,
-                     "agree" if agrees else "MISMATCH"])
+                     graph, "agree" if agrees else "MISMATCH"])
         if not agrees:
             mismatches.append((model, assumption))
 
     table_printer(
         "Figure 4 — empirical checks of the map of results",
-        ["model", "assumption", "paper verdict", "source", "empirical outcome", "status"],
+        ["model", "assumption", "paper verdict", "source", "empirical outcome",
+         "graph (ring)", "status"],
         rows,
     )
     print()

@@ -1,11 +1,42 @@
-"""Setuptools shim.
+"""Packaging for the ``repro`` library.
 
-The project is fully described in ``pyproject.toml``; this file exists so
-that editable installs keep working on environments without the ``wheel``
-package (offline machines where ``pip install -e . --no-use-pep517`` is the
-only available editable-install path).
+The core install is dependency-light on purpose: the python execution
+backend, the protocol catalog, the simulators and the verification
+machinery need nothing beyond ``networkx`` (interaction graphs).  The
+columnar numpy array engine (``--engine-backend array``,
+:mod:`repro.engine.backends.array_backend`) lives behind the ``fast``
+extra::
+
+    pip install repro          # core, python backend only
+    pip install 'repro[fast]'  # + numpy for the array engine
+
+Without the extra, everything imports and runs; requesting the array
+backend then fails with an actionable
+:class:`~repro.engine.backends.base.BackendUnavailableError`.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Fault-tolerant simulation of population protocols "
+        "(ICDCS 2017 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "networkx>=2.6",
+    ],
+    extras_require={
+        # The array engine: Generator.integers chunk draws and the
+        # SeedSequence.spawn stream-splitting contract it relies on are
+        # stable from numpy 1.22 onward.
+        "fast": ["numpy>=1.22"],
+    },
+    entry_points={
+        "console_scripts": ["repro=repro.cli:main"],
+    },
+)

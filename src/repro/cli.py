@@ -24,6 +24,10 @@ Examples::
     repro run --protocol exact-majority --runs 16 --jobs 4 \
               --backend process --trace-policy counts-only
     repro run --protocol leader-election --trace-policy ring --max-steps 500
+    repro run --protocol epidemic --scheduler ring-graph --population 64 \
+              --trace-policy counts-only
+    repro run --protocol epidemic --population 100000 --engine-backend array \
+              --trace-policy counts-only --max-steps 2000000
     repro attack lemma1 --omission-bound 1
     repro attack no1 --model I1
     repro map
@@ -41,6 +45,7 @@ from repro.adversary.omission import BoundedOmissionAdversary
 from repro.analysis.reporting import format_results_map, format_table
 from repro.core.skno import SKnOSimulator
 from repro.core.verification import verify_simulation
+from repro.engine.backends import ENGINE_BACKENDS, BackendError
 from repro.engine.convergence import run_until_stable
 from repro.engine.engine import SimulationEngine
 from repro.engine.experiment import JOBS_BACKENDS, repeat_experiment
@@ -50,13 +55,13 @@ from repro.interaction.models import MODELS_BY_NAME, get_model
 from repro.protocols.catalog import CATALOG, get_protocol
 from repro.protocols.catalog.pairing import PairingProtocol
 from repro.protocols.registry import (
+    SCHEDULERS,
     ExperimentSpec,
     build_simulator,
     default_initial_configuration,
     stable_output_predicate,
 )
 from repro.protocols.state import Configuration
-from repro.scheduling.scheduler import RandomScheduler
 
 SIMULATOR_CHOICES = ("none", "skno", "sid", "known-n")
 
@@ -101,13 +106,18 @@ def _command_run(args) -> int:
     if args.omissions > 0:
         adversary = BoundedOmissionAdversary(model, max_omissions=args.omissions, seed=args.seed)
 
+    scheduler = SCHEDULERS[args.scheduler](args.population, seed=args.seed)
     engine = SimulationEngine(
-        simulator, model, RandomScheduler(args.population, seed=args.seed), adversary=adversary)
-    outcome = run_until_stable(engine, config, predicate, max_steps=args.max_steps,
-                               stability_window=args.stability_window,
-                               trace_policy=args.trace_policy,
-                               ring_size=args.ring_size,
-                               chunk_size=args.chunk_size)
+        simulator, model, scheduler, adversary=adversary,
+        backend=args.engine_backend)
+    try:
+        outcome = run_until_stable(engine, config, predicate, max_steps=args.max_steps,
+                                   stability_window=args.stability_window,
+                                   trace_policy=args.trace_policy,
+                                   ring_size=args.ring_size,
+                                   chunk_size=args.chunk_size)
+    except BackendError as error:
+        raise SystemExit(f"--engine-backend {args.engine_backend}: {error}")
 
     report = None
     if args.trace_policy == "full":
@@ -167,8 +177,9 @@ def _run_repeated(args, protocol, model, simulator, protocol_kwargs) -> int:
         omissions=args.omissions,
         ones=args.ones,
         predicate="stable-output",
-        scheduler="random",
+        scheduler=args.scheduler,
         chunk_size=args.chunk_size,
+        backend=args.engine_backend,
     )
 
     validate = None
@@ -180,19 +191,22 @@ def _run_repeated(args, protocol, model, simulator, protocol_kwargs) -> int:
                     else "simulation verification violation"
             return None
 
-    result = repeat_experiment(
-        spec=spec,
-        runs=args.runs,
-        max_steps=args.max_steps,
-        stability_window=args.stability_window,
-        base_seed=args.seed,
-        validate=validate,
-        jobs=args.jobs,
-        jobs_backend=args.backend,
-        trace_policy=args.trace_policy,
-        ring_size=args.ring_size,
-        run_chunk=args.run_chunk,
-    )
+    try:
+        result = repeat_experiment(
+            spec=spec,
+            runs=args.runs,
+            max_steps=args.max_steps,
+            stability_window=args.stability_window,
+            base_seed=args.seed,
+            validate=validate,
+            jobs=args.jobs,
+            jobs_backend=args.backend,
+            trace_policy=args.trace_policy,
+            ring_size=args.ring_size,
+            run_chunk=args.run_chunk,
+        )
+    except BackendError as error:
+        raise SystemExit(f"--engine-backend {args.engine_backend}: {error}")
 
     mean = result.mean_convergence_steps
     median = result.median_convergence_steps
@@ -309,6 +323,19 @@ def build_parser() -> argparse.ArgumentParser:
                             help="scheduled draws per batched scheduler call inside "
                                  "the engine (default 256; 1 reproduces the per-step "
                                  "loop; results are identical for every value)")
+    run_parser.add_argument("--scheduler", choices=sorted(SCHEDULERS), default="random",
+                            help="interaction scheduler: random (uniform pairs, the "
+                                 "default), round-robin (deterministic lexicographic "
+                                 "cycle), or a graph family restricting interactions "
+                                 "to a topology (ring-graph, star-graph, "
+                                 "complete-graph)")
+    run_parser.add_argument("--engine-backend", choices=ENGINE_BACKENDS, default="python",
+                            help="execution backend: python (default, supports "
+                                 "everything) or array (columnar numpy engine for "
+                                 "huge populations; needs the repro[fast] extra, "
+                                 "--trace-policy counts-only, no --omissions, and a "
+                                 "finite-state protocol — anything else fails with "
+                                 "an explanation)")
     run_parser.add_argument("--trace-policy", choices=("full", "counts-only", "ring"),
                             default="full",
                             help="full: record every step and verify the simulation; "

@@ -41,6 +41,15 @@ class TrivialTwoWaySimulator(TwoWaySimulator):
     def project(self, state: State) -> State:
         return state
 
+    def state_order(self) -> Tuple[State, ...]:
+        """Composite states are the protocol states, in the protocol's order.
+
+        This is what lets the array engine compile ``TW`` runs of finite
+        catalog protocols: the identity wrapper inherits the wrapped
+        protocol's canonical interning order verbatim.
+        """
+        return self.protocol.state_order()
+
     # -- two-way program interface (used by the TW model) -----------------------------------------
 
     def fs(self, starter: State, reactor: State) -> State:

@@ -1,0 +1,93 @@
+"""Pluggable execution backends.
+
+The engine's run semantics (budget, stop conditions, trace policies — see
+:mod:`repro.engine.fastpath`) are implemented by interchangeable *backends*:
+
+========  ==================================================================
+name      implementation
+========  ==================================================================
+python    the default interpreted fast path; supports everything, no
+          third-party dependencies (:mod:`.python_backend`)
+array     opt-in columnar numpy execution for protocols with small finite
+          state spaces — interned states, compiled transition tables,
+          whole-chunk vectorized draws (:mod:`.array_backend`); requires
+          the ``repro[fast]`` extra
+========  ==================================================================
+
+Selection points: ``SimulationEngine(backend=...)``,
+``ExperimentSpec.backend`` (pickles across the process fan-out) and
+``repro run --engine-backend``.  Backend implementations are imported
+lazily, so ``import repro`` never touches numpy and installs without the
+extra keep working until ``array`` is actually requested.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.engine.backends.base import (
+    BackendCompileError,
+    BackendError,
+    BackendUnavailableError,
+    ExecutionBackend,
+)
+
+#: The selectable execution backends.
+ENGINE_BACKENDS = ("python", "array")
+
+_INSTANCES: Dict[str, ExecutionBackend] = {}
+
+
+def validate_backend(name: str) -> str:
+    """Check ``name`` against :data:`ENGINE_BACKENDS` without importing it.
+
+    Cheap enough for spec/engine constructors: availability of the array
+    backend's numpy dependency is only checked when the backend is actually
+    resolved by :func:`get_backend`.
+    """
+    if name not in ENGINE_BACKENDS:
+        known = ", ".join(ENGINE_BACKENDS)
+        raise ValueError(f"unknown engine backend {name!r}; known backends: {known}")
+    return name
+
+
+def get_backend(name: str) -> ExecutionBackend:
+    """Resolve a backend name to its (shared, stateless) instance.
+
+    Raises :class:`ValueError` for unknown names and
+    :class:`BackendUnavailableError` when the ``array`` backend is requested
+    without numpy installed.
+    """
+    validate_backend(name)
+    instance = _INSTANCES.get(name)
+    if instance is not None:
+        return instance
+    if name == "python":
+        from repro.engine.backends.python_backend import PythonBackend
+
+        instance = PythonBackend()
+    else:
+        try:
+            import numpy  # noqa: F401 - availability probe
+        except ImportError:
+            raise BackendUnavailableError(
+                "the array engine backend requires numpy; install the fast "
+                "extra (pip install 'repro[fast]') or numpy itself, or use "
+                "the default python backend"
+            ) from None
+        from repro.engine.backends.array_backend import ArrayBackend
+
+        instance = ArrayBackend()
+    _INSTANCES[name] = instance
+    return instance
+
+
+__all__ = [
+    "BackendCompileError",
+    "BackendError",
+    "BackendUnavailableError",
+    "ENGINE_BACKENDS",
+    "ExecutionBackend",
+    "get_backend",
+    "validate_backend",
+]

@@ -1,0 +1,98 @@
+"""The execution-backend abstraction.
+
+A *backend* is a complete implementation of the engine's run semantics —
+the budget, stop-condition and trace-policy contract documented in
+:mod:`repro.engine.fastpath` — over its own data representation:
+
+``python`` (:mod:`repro.engine.backends.python_backend`)
+    The default: the interpreted fast path over a
+    :class:`~repro.protocols.state.MutableConfiguration` buffer.  Supports
+    every program, scheduler, adversary, predicate and trace policy, and
+    needs no third-party packages.
+
+``array`` (:mod:`repro.engine.backends.array_backend`)
+    Opt-in columnar execution over numpy arrays of interned state codes for
+    protocols with small finite state spaces.  Much faster for huge
+    populations, but only for the *compilable* subset of experiments; a
+    request outside that subset raises :class:`BackendCompileError` naming
+    the offending ingredient.
+
+Both backends expose the same two entry points, mirroring
+:meth:`~repro.engine.engine.SimulationEngine.execute` and
+:func:`~repro.engine.convergence.run_until_stable` but taking the run's
+ingredients explicitly (the dispatchers pass them from the engine), so a
+backend never needs to import the engine layer above it.
+
+This module is deliberately import-light (no engine, scheduling or numpy
+imports): lower layers such as :mod:`repro.scheduling.array_draws` raise
+its error types without creating import cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+
+class BackendError(Exception):
+    """Base class for execution-backend errors."""
+
+
+class BackendUnavailableError(BackendError):
+    """Raised when a backend's third-party dependency is not installed."""
+
+
+class BackendCompileError(BackendError):
+    """Raised when an experiment ingredient cannot be compiled for a backend.
+
+    The message names the ingredient (program, scheduler, adversary,
+    predicate, trace policy) and, where one exists, the supported
+    alternative — callers surface it verbatim, so it must be actionable.
+    """
+
+
+class ExecutionBackend:
+    """Interface every execution backend implements.
+
+    Implementations are stateless (all run state is per-call), so one
+    instance per backend is shared process-wide via
+    :func:`repro.engine.backends.get_backend`.
+    """
+
+    #: Backend name as used by ``SimulationEngine(backend=...)``,
+    #: ``ExperimentSpec.backend`` and ``repro run --engine-backend``.
+    name: str = "backend"
+
+    def execute(
+        self,
+        program: Any,
+        model: Any,
+        scheduler: Any,
+        adversary: Optional[Any],
+        initial_configuration: Any,
+        max_steps: int,
+        stop_condition: Optional[Callable[[Any], bool]] = None,
+        *,
+        trace_policy: str = "full",
+        ring_size: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ) -> Any:
+        """Run up to ``max_steps`` interactions; returns a ``RunResult``."""
+        raise NotImplementedError
+
+    def run_until_stable(
+        self,
+        program: Any,
+        model: Any,
+        scheduler: Any,
+        adversary: Optional[Any],
+        initial_configuration: Any,
+        predicate: Any,
+        max_steps: int = 100_000,
+        stability_window: int = 0,
+        *,
+        trace_policy: str = "full",
+        ring_size: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ) -> Any:
+        """Run until ``predicate`` stabilises; returns a ``ConvergenceResult``."""
+        raise NotImplementedError

@@ -22,7 +22,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Tuple
 
-from repro.engine.engine import SimulationEngine
 from repro.engine.fastpath import DEFAULT_CHUNK_SIZE, as_incremental, make_recorder, run_core
 from repro.engine.trace import Trace, TraceStep
 from repro.protocols.state import Configuration, MutableConfiguration
@@ -77,7 +76,7 @@ def stable_output_condition(
 
 
 def run_until_stable(
-    engine: SimulationEngine,
+    engine: Any,
     initial_configuration: Configuration,
     predicate: Any,
     max_steps: int = 100_000,
@@ -130,6 +129,69 @@ def run_until_stable(
     stop fired — may have been advanced past the last executed
     interaction (see :mod:`repro.engine.fastpath`; build a fresh
     adversary per run rather than reusing one across runs).
+
+    Dispatch
+    --------
+    The run executes on the engine's execution backend
+    (:mod:`repro.engine.backends`): the default ``python`` backend is the
+    loop below; an engine built with ``backend="array"`` routes through the
+    columnar numpy core instead (same semantics for everything it can
+    compile, :class:`~repro.engine.backends.base.BackendCompileError`
+    otherwise).
+    """
+    backend = getattr(engine, "backend", "python")
+    if backend != "python":
+        from repro.engine.backends import get_backend  # lazy: avoids an import cycle
+
+        return get_backend(backend).run_until_stable(
+            engine.program,
+            engine.model,
+            engine.scheduler,
+            engine.adversary,
+            initial_configuration,
+            predicate,
+            max_steps=max_steps,
+            stability_window=stability_window,
+            trace_policy=trace_policy,
+            ring_size=ring_size,
+            chunk_size=chunk_size,
+        )
+    return run_until_stable_core(
+        engine.program,
+        engine.model,
+        engine.scheduler,
+        engine.adversary,
+        initial_configuration,
+        predicate,
+        max_steps=max_steps,
+        stability_window=stability_window,
+        trace_policy=trace_policy,
+        ring_size=ring_size,
+        chunk_size=chunk_size,
+    )
+
+
+def run_until_stable_core(
+    program: Any,
+    model: Any,
+    scheduler: Any,
+    adversary: Optional[Any],
+    initial_configuration: Configuration,
+    predicate: Any,
+    max_steps: int = 100_000,
+    stability_window: int = 0,
+    *,
+    trace_policy: str = "full",
+    ring_size: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> ConvergenceResult:
+    """The python-backend convergence loop, over explicit run ingredients.
+
+    :func:`run_until_stable` is the engine-facing wrapper; this function is
+    the implementation the ``python`` backend object delegates to (backends
+    receive ingredients, not engines, so they never import the engine
+    layer).  Semantics are exactly those documented on
+    :func:`run_until_stable`.
     """
     recorder = make_recorder(trace_policy, ring_size)
     buffer = MutableConfiguration(initial_configuration)
@@ -171,10 +233,10 @@ def run_until_stable(
         return progress["consecutive"] >= target
 
     steps_done, _stopped = run_core(
-        engine.program,
-        engine.model,
-        engine.scheduler,
-        engine.adversary,
+        program,
+        model,
+        scheduler,
+        adversary,
         buffer,
         recorder,
         max_steps,

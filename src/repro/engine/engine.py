@@ -7,17 +7,20 @@ the adversaries of Definitions 1 and 2 rewrite runs.
 
 The engine is deliberately small: all protocol semantics live in the
 interaction model (:mod:`repro.interaction.models`), all policy lives in
-the scheduler/adversary, and the step loop itself lives in the shared
-fast-path core (:mod:`repro.engine.fastpath`).  :meth:`SimulationEngine.run`
-and :meth:`SimulationEngine.replay` are thin wrappers over that core, as is
-:func:`repro.engine.convergence.run_until_stable`.
+the scheduler/adversary, and the step loop itself lives in the selected
+execution backend (:mod:`repro.engine.backends`) — by default the shared
+fast-path core (:mod:`repro.engine.fastpath`), or the columnar numpy
+array engine for huge populations of small-finite-state protocols.
+:meth:`SimulationEngine.run` and :meth:`SimulationEngine.replay` are thin
+wrappers, as is :func:`repro.engine.convergence.run_until_stable`.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Optional
 
-from repro.engine.fastpath import DEFAULT_CHUNK_SIZE, RunResult, make_recorder, run_core
+from repro.engine.backends import get_backend, validate_backend
+from repro.engine.fastpath import RunResult, make_recorder, run_core
 from repro.engine.trace import Trace
 from repro.interaction.models import InteractionModel
 from repro.protocols.state import Configuration, MutableConfiguration
@@ -46,6 +49,15 @@ class SimulationEngine:
         interaction and allowed to inject omissive interactions
         (Definitions 1 and 2).  ``None`` means no omissions beyond those
         already carried by the scheduled interactions themselves.
+    backend:
+        Execution backend name (:data:`repro.engine.backends.ENGINE_BACKENDS`).
+        ``"python"`` (default) runs the interpreted fast path and supports
+        everything; ``"array"`` opts into columnar numpy execution for
+        programs with small finite state spaces (requires the
+        ``repro[fast]`` extra) and raises
+        :class:`~repro.engine.backends.base.BackendCompileError` for
+        ingredients it cannot compile.  The name is validated here; the
+        backend itself (and its numpy dependency) is resolved per run.
     """
 
     def __init__(
@@ -54,11 +66,13 @@ class SimulationEngine:
         model: InteractionModel,
         scheduler: Scheduler,
         adversary: Optional[Any] = None,
+        backend: str = "python",
     ):
         self.program = program
         self.model = model
         self.scheduler = scheduler
         self.adversary = adversary
+        self.backend = validate_backend(backend)
 
     # -- single-interaction execution -------------------------------------------------------
 
@@ -122,38 +136,29 @@ class SimulationEngine:
         per-step counterparts, so the result is independent of
         ``chunk_size`` (``1`` reproduces the per-step loop).  See
         :mod:`repro.engine.fastpath` for the full contract.
+
+        The run executes on the engine's configured backend; on the
+        ``array`` backend only the compilable subset is accepted (no
+        adversary or stop condition, ``counts-only`` trace policy) and
+        anything else raises
+        :class:`~repro.engine.backends.base.BackendCompileError`.
         """
         if max_steps < 0:
             raise EngineError("max_steps must be non-negative")
         if len(initial_configuration) < 2 and max_steps > 0:
             raise EngineError("a population of fewer than two agents cannot interact")
 
-        recorder = make_recorder(trace_policy, ring_size)
-        buffer = MutableConfiguration(initial_configuration)
-        on_step = None
-        if stop_condition is not None:
-            on_step = lambda *_step: stop_condition(buffer)  # noqa: E731
-
-        executed, stopped = run_core(
+        return get_backend(self.backend).execute(
             self.program,
             self.model,
             self.scheduler,
             self.adversary,
-            buffer,
-            recorder,
+            initial_configuration,
             max_steps,
-            on_step=on_step,
-            chunk_size=chunk_size if chunk_size is not None else DEFAULT_CHUNK_SIZE,
-        )
-        final = buffer.freeze()
-        return RunResult(
-            policy=recorder.policy,
-            steps=executed,
-            omissions=recorder.omissions,
-            final_configuration=final,
-            trace=recorder.build_trace(initial_configuration, final),
-            last_steps=recorder.last_steps(),
-            stopped=stopped,
+            stop_condition,
+            trace_policy=trace_policy,
+            ring_size=ring_size,
+            chunk_size=chunk_size,
         )
 
     def run(
@@ -181,6 +186,9 @@ class SimulationEngine:
         The scheduler and adversary are bypassed: the given interactions,
         including their omission flags, are executed verbatim.  This is how
         the scripted attack constructions of Section 3 are evaluated.
+        Replays always run on the python fast path, whatever the engine's
+        backend: scripted runs carry per-interaction omission flags, which
+        the compiled tables of the array backend do not model.
         """
         interactions = run if isinstance(run, Run) else Run(run)
         recorder = make_recorder("full")

@@ -127,6 +127,15 @@ def run_spec(
     name plus its picklable arguments.  The spec build (protocol, simulator,
     initial configuration) is memoised per process, so a worker executing
     many runs of the same spec pays for it once.
+
+    The scheduler, adversary and predicate, by contrast, are built fresh
+    here for *every* run.  For the adversary this is load-bearing, not just
+    hygiene: a stop condition ending a run mid-chunk leaves the adversary's
+    internal state (RNG position, omission-budget counters) planned up to
+    one chunk ahead of the last executed interaction (see
+    :mod:`repro.engine.fastpath`), so an instance carried over from such a
+    run would start the next run from a drifted position.  Pinned by
+    ``tests/test_experiment_fresh_state.py``.
     """
     built = build_cached(spec)
     seed = base_seed + run_index
@@ -135,6 +144,7 @@ def run_spec(
         built.model,
         built.make_scheduler(seed),
         adversary=built.make_adversary(seed),
+        backend=spec.backend,
     )
     return run_until_stable(
         engine,

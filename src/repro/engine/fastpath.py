@@ -13,6 +13,13 @@ buffer.  :meth:`SimulationEngine.run`, :meth:`SimulationEngine.replay` and
 :func:`repro.engine.convergence.run_until_stable` are thin wrappers over
 :func:`run_core`.
 
+Since the execution-backend split (:mod:`repro.engine.backends`) this loop
+is, precisely, the **python backend**: the reference implementation of the
+run semantics every other backend (currently the columnar numpy array
+engine) must reproduce.  The budget/stop/truncation contract below is
+therefore backend-independent; only the data representation and the RNG
+streams differ across backends.
+
 Three trace policies control what the run records:
 
 ``full``
@@ -288,6 +295,19 @@ class IncrementalPredicate:
         """Fold one step's state changes; called once per executed interaction."""
         raise NotImplementedError
 
+    def as_state_count(self) -> Optional[Tuple[Callable[[State], bool], Optional[int]]]:
+        """The predicate as a ``(satisfies, target)`` state-count shape, if any.
+
+        Predicates of the form "the number of agents whose state satisfies
+        ``satisfies`` equals ``target`` (``None``: all agents)" are
+        *compilable*: the array backend
+        (:mod:`repro.engine.backends.array_backend`) evaluates ``satisfies``
+        once per interned state and tracks the count columnarly.  Returning
+        ``None`` (the default) marks the predicate as non-compilable; such
+        predicates run only on the python backend.
+        """
+        return None
+
 
 class AgentCountPredicate(IncrementalPredicate):
     """Holds when the number of agents satisfying ``satisfies`` equals ``target``.
@@ -314,6 +334,10 @@ class AgentCountPredicate(IncrementalPredicate):
         for _agent, old_state, new_state in deltas:
             self._count += satisfies(new_state) - satisfies(old_state)
         return self._holds()
+
+    def as_state_count(self):
+        """State-count predicates are compilable by construction."""
+        return self._satisfies, self._target
 
     def _holds(self) -> bool:
         target = self._n if self._target is None else self._target

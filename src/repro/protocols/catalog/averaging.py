@@ -38,6 +38,10 @@ class AveragingProtocol(PopulationProtocol):
     def output(self, state: State):
         return state
 
+    def state_order(self) -> Tuple[State, ...]:
+        """Canonical interning order for the array engine: the value itself."""
+        return tuple(range(self.max_value + 1))
+
     @staticmethod
     def total(configuration: Configuration) -> int:
         """The conserved total value of the population."""

@@ -65,6 +65,14 @@ class ThresholdProtocol(PopulationProtocol):
         weight, flag = state
         return bool(flag or weight >= self.threshold)
 
+    def state_order(self) -> Tuple[State, ...]:
+        """Canonical interning order for the array engine: by weight, then flag."""
+        return tuple(
+            (weight, flag)
+            for weight in range(self.threshold + 1)
+            for flag in (False, True)
+        )
+
     def initial_state(self, input_bit: int) -> State:
         """Initial state for an agent whose input bit is 0 or 1."""
         if input_bit not in (0, 1):
@@ -130,6 +138,14 @@ class ModuloCountingProtocol(PopulationProtocol):
         """``True`` when the agent's current residue equals the target."""
         _, residue = state
         return residue == self.target
+
+    def state_order(self) -> Tuple[State, ...]:
+        """Canonical interning order for the array engine: by residue, then kind."""
+        return tuple(
+            (kind, residue)
+            for residue in range(self.modulus)
+            for kind in ("collector", "follower")
+        )
 
     def initial_state(self, input_bit: int) -> State:
         if input_bit not in (0, 1):

@@ -38,9 +38,24 @@ class EpidemicProtocol(PopulationProtocol):
     def output(self, state: State):
         return state == INFORMED
 
+    def state_order(self) -> Tuple[State, ...]:
+        """Canonical interning order for the array engine."""
+        return (SUSCEPTIBLE, INFORMED)
+
     @staticmethod
     def initial_configuration(informed: int, susceptible: int) -> Configuration:
         return Configuration([INFORMED] * informed + [SUSCEPTIBLE] * susceptible)
+
+    @staticmethod
+    def expected_output(informed: int) -> bool:
+        """The stable output: any initially informed agent informs everyone.
+
+        Giving the epidemic the standard ``expected_output`` hook lets the
+        registry derive its stable-output criterion as a state-count
+        predicate (all agents output this value) instead of the
+        non-compilable unanimity fallback.
+        """
+        return informed > 0
 
     @staticmethod
     def informed_count(configuration: Configuration) -> int:
@@ -65,3 +80,7 @@ class OneWayEpidemicProtocol(OneWayProtocol):
         if starter == INFORMED:
             return INFORMED
         return reactor
+
+    def state_order(self) -> Tuple[State, ...]:
+        """Canonical interning order for the array engine."""
+        return (SUSCEPTIBLE, INFORMED)

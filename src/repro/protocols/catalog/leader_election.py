@@ -38,6 +38,10 @@ class LeaderElectionProtocol(PopulationProtocol):
         """Output ``True`` for the leader, ``False`` for followers."""
         return state == LEADER
 
+    def state_order(self) -> Tuple[State, ...]:
+        """Canonical interning order for the array engine."""
+        return (LEADER, FOLLOWER)
+
     @staticmethod
     def initial_configuration(n: int) -> Configuration:
         """All ``n`` agents start as leader candidates."""

@@ -70,6 +70,10 @@ class ApproximateMajorityProtocol(PopulationProtocol):
             return state
         return None
 
+    def state_order(self) -> Tuple[State, ...]:
+        """Canonical interning order for the array engine."""
+        return (A, B, UNDECIDED)
+
     @staticmethod
     def initial_configuration(count_a: int, count_b: int, undecided: int = 0) -> Configuration:
         """Initial configuration with the given opinion counts."""
@@ -136,6 +140,10 @@ class ExactMajorityProtocol(PopulationProtocol):
         if state in (A, WEAK_A):
             return A
         return B
+
+    def state_order(self) -> Tuple[State, ...]:
+        """Canonical interning order for the array engine: strong then weak."""
+        return (A, B, WEAK_A, WEAK_B)
 
     @staticmethod
     def initial_configuration(count_a: int, count_b: int) -> Configuration:

@@ -60,6 +60,10 @@ class PairingProtocol(PopulationProtocol):
         """Output ``True`` exactly for the critical state."""
         return state == CRITICAL
 
+    def state_order(self) -> Tuple[State, ...]:
+        """Canonical interning order for the array engine: Definition 5's listing."""
+        return (CONSUMER, PRODUCER, CRITICAL, BOTTOM)
+
     # -- convenience constructors and checks -------------------------------------------
 
     @staticmethod

@@ -29,6 +29,10 @@ class OrProtocol(PopulationProtocol):
     def output(self, state: State):
         return bool(state)
 
+    def state_order(self) -> Tuple[State, ...]:
+        """Canonical interning order for the array engine."""
+        return (0, 1)
+
     @staticmethod
     def initial_configuration(ones: int, zeros: int) -> Configuration:
         return Configuration([1] * ones + [0] * zeros)
@@ -51,6 +55,10 @@ class AndProtocol(PopulationProtocol):
 
     def output(self, state: State):
         return bool(state)
+
+    def state_order(self) -> Tuple[State, ...]:
+        """Canonical interning order for the array engine."""
+        return (0, 1)
 
     @staticmethod
     def initial_configuration(ones: int, zeros: int) -> Configuration:

@@ -33,6 +33,26 @@ class ProtocolError(Exception):
     """Raised when a protocol definition or invocation is invalid."""
 
 
+def _canonical_state_order(
+    states: Optional[FrozenSet[State]], name: str
+) -> Tuple[State, ...]:
+    """The default canonical ordering of a finite state set.
+
+    Shared by the two protocol base classes so their ``state_order()``
+    contracts cannot drift apart: the array engine interns states in this
+    order, which must be stable across processes.  Sorting by ``repr``
+    provides that stability (``frozenset`` iteration order depends on hash
+    randomisation); protocols may override ``state_order()`` with the
+    order in which the paper lists their states.
+    """
+    if states is None:
+        raise ProtocolError(
+            f"protocol {name!r} has an unbounded state space; "
+            "the array engine needs a finite state_order()"
+        )
+    return tuple(sorted(states, key=repr))
+
+
 class PopulationProtocol:
     """A two-way population protocol (the standard model, ``TW``).
 
@@ -105,6 +125,16 @@ class PopulationProtocol:
         if self._states is None:
             raise ProtocolError(f"protocol {self.name!r} has an unbounded state space")
         return len(self._states)
+
+    def state_order(self) -> Tuple[State, ...]:
+        """A deterministic canonical ordering of ``Q_P``.
+
+        This is the interning order used by the array engine
+        (:mod:`repro.engine.backends`): state ``i`` of the returned tuple
+        is encoded as code ``i``.  See :func:`_canonical_state_order` for
+        the default; raises :class:`ProtocolError` for unbounded protocols.
+        """
+        return _canonical_state_order(self._states, self.name)
 
     def validate_initial_state(self, state: State) -> None:
         """Raise :class:`ProtocolError` if ``state`` is not a legal initial state."""
@@ -278,6 +308,16 @@ class OneWayProtocol:
     @property
     def is_finite_state(self) -> bool:
         return self._states is not None
+
+    def state_order(self) -> Tuple[State, ...]:
+        """A deterministic canonical ordering of the state set.
+
+        Same contract as :meth:`PopulationProtocol.state_order` (the
+        shared :func:`_canonical_state_order` default); raises
+        :class:`ProtocolError` when the state space is unbounded (e.g.
+        every simulator of :mod:`repro.core` except the trivial one).
+        """
+        return _canonical_state_order(self._states, self.name)
 
     def __repr__(self) -> str:
         size = "inf" if self._states is None else str(len(self._states))

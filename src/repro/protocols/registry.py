@@ -46,6 +46,8 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.adversary.omission import BoundedOmissionAdversary
 from repro.core.naming import KnownSizeSimulator
+from repro.engine.backends import validate_backend
+from repro.engine.fastpath import AgentCountPredicate
 from repro.core.sid import SIDSimulator
 from repro.core.skno import SKnOSimulator
 from repro.core.trivial import TrivialTwoWaySimulator
@@ -164,30 +166,42 @@ def stable_output_predicate(simulator, protocol, initial_projected: Configuratio
     protocols without a natural scalar output fall back to "outputs stopped
     changing", approximated by unanimity of outputs.  This is the default
     predicate of ``repro run`` for every catalog protocol.
+
+    Wherever the criterion is a *state count* ("``k`` agents satisfy this
+    per-state test"), the returned predicate is an
+    :class:`~repro.engine.fastpath.AgentCountPredicate`: O(1) per step on
+    the python backend (delta-driven instead of an O(n) rescan) and
+    compilable by the array backend.  Only the averaging spread criterion
+    and the unanimity fallback remain plain configuration callables, which
+    the array backend rejects with an actionable error.
     """
     outputs = [protocol.output(state) for state in initial_projected]
+    project = simulator.project
+
+    def all_output(expected):
+        output = protocol.output
+        return AgentCountPredicate(lambda s: output(project(s)) == expected)
 
     name = protocol.name
     if name == "pairing":
         expected_critical = min(initial_projected.count("c"), initial_projected.count("p"))
-        return lambda c: c.project(simulator.project).count("cs") == expected_critical
+        return AgentCountPredicate(
+            lambda s: project(s) == "cs", target=expected_critical)
     if name == "leader-election":
-        return lambda c: sum(1 for s in c if simulator.project(s) == "L") == 1
+        return AgentCountPredicate(lambda s: project(s) == "L", target=1)
     if name == "exact-majority":
         count_a = sum(1 for value in outputs if value == "A")
         expected = "A" if count_a * 2 > len(outputs) else "B"
-        return lambda c: all(protocol.output(simulator.project(s)) == expected for s in c)
+        return all_output(expected)
     if name.startswith("averaging"):
-        return lambda c: max(simulator.project(s) for s in c) - min(
-            simulator.project(s) for s in c) <= 1
+        return lambda c: max(project(s) for s in c) - min(
+            project(s) for s in c) <= 1
     if name.startswith("threshold"):
         ones = sum(weight for weight, _ in initial_projected)
-        expected = protocol.expected_output(ones)
-        return lambda c: all(protocol.output(simulator.project(s)) == expected for s in c)
+        return all_output(protocol.expected_output(ones))
     if name.startswith("mod-") or name == "parity":
         ones = sum(residue for _, residue in initial_projected)
-        expected = protocol.expected_output(ones)
-        return lambda c: all(protocol.output(simulator.project(s)) == expected for s in c)
+        return all_output(protocol.expected_output(ones))
     # Generic boolean predicates: the stable output is determined by the
     # protocol's own expected_output when available.
     expected = None
@@ -198,8 +212,8 @@ def stable_output_predicate(simulator, protocol, initial_projected: Configuratio
         except TypeError:
             expected = None
     if expected is not None:
-        return lambda c: all(protocol.output(simulator.project(s)) == expected for s in c)
-    return lambda c: len({protocol.output(simulator.project(s)) for s in c}) == 1
+        return all_output(expected)
+    return lambda c: len({protocol.output(project(s)) for s in c}) == 1
 
 
 #: Predicate factories ``factory(simulator, protocol, initial_projected) ->
@@ -277,6 +291,12 @@ class ExperimentSpec:
     process backend can thread it to every worker, but it is purely a
     performance knob: results are chunking-independent by the batched
     protocols' equivalence contracts.
+
+    ``backend`` selects the execution backend
+    (:data:`repro.engine.backends.ENGINE_BACKENDS`) each run's engine is
+    built with.  Like every other field it is plain data, so it pickles
+    across the process fan-out and workers resolve the backend — including
+    its numpy dependency for ``"array"`` — locally.
     """
 
     protocol: str
@@ -291,6 +311,7 @@ class ExperimentSpec:
     scheduler: str = "random"
     scheduler_kwargs: Tuple[Tuple[str, Any], ...] = ()
     chunk_size: Optional[int] = None
+    backend: str = "python"
 
     def __post_init__(self):
         object.__setattr__(self, "protocol_kwargs", _as_items(self.protocol_kwargs))
@@ -301,6 +322,7 @@ class ExperimentSpec:
             raise ValueError("omission counts must be non-negative")
         if self.chunk_size is not None and self.chunk_size < 1:
             raise ValueError("chunk_size must be at least 1")
+        validate_backend(self.backend)
 
     def build(self) -> "BuiltExperiment":
         """Resolve every key and construct the live per-experiment objects."""

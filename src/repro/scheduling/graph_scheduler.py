@@ -143,6 +143,7 @@ class GraphScheduler(Scheduler):
     def reset(self) -> None:
         self._rng = random.Random(self._seed)
         self._bind_rng()
+        self._drop_array_kernel()
 
     def ordered_pairs(self) -> List[Tuple[int, int]]:
         """All ordered pairs this scheduler can ever produce."""

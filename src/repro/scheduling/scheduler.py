@@ -71,6 +71,18 @@ class Scheduler:
     stream stays bitwise identical to the per-step stream.
     """
 
+    @property
+    def seed(self) -> Optional[int]:
+        """The seed a randomized scheduler was built with.
+
+        ``None`` for OS-entropy seeding *and* for deterministic schedulers
+        (which have no ``_seed`` at all).  Exposed on the base class so the
+        array engine can seed its own ``PCG64`` draw stream from the same
+        value for any kernel-compilable family
+        (:mod:`repro.scheduling.array_draws`).
+        """
+        return getattr(self, "_seed", None)
+
     def next_interaction(self, step: int) -> Interaction:
         """Return the interaction to execute at ``step`` (0-based).
 
@@ -110,6 +122,17 @@ class Scheduler:
 
     def reset(self) -> None:
         """Reset any internal state so the scheduler can be reused from step 0."""
+
+    def _drop_array_kernel(self) -> None:
+        """Forget the cached array-engine draw kernel, if one was compiled.
+
+        The array backend caches its draw kernel — which carries the
+        stream position — on the scheduler instance; resettable randomized
+        schedulers call this from :meth:`reset` so that, like the
+        ``random.Random`` stream, the kernel stream replays from the seed
+        after a reset.
+        """
+        self.__dict__.pop("_array_kernel", None)
 
     def __iter__(self):
         """Iterate the per-step stream until exhaustion (forever when infinite)."""
@@ -212,6 +235,7 @@ class RandomScheduler(Scheduler):
         """Restore the seeded stream to step 0."""
         self._rng = random.Random(self._seed)
         self._bind_rng()
+        self._drop_array_kernel()
 
 
 class ScriptedScheduler(Scheduler):

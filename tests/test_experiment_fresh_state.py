@@ -1,0 +1,88 @@
+"""Regression: batch runners must rebuild per-run state fresh from the spec.
+
+The documented PR 3 foot-gun: a stop condition ending a run mid-chunk
+leaves the adversary's internal state (RNG position, omission-budget
+counters such as ``total_injected``) planned up to one chunk ahead of the
+last executed interaction.  An adversary instance *reused* across runs
+would therefore start the next run from a drifted position, making
+aggregate results depend on run order and chunking.  ``run_spec`` /
+``run_spec_batch`` / ``repeat_experiment`` avoid this by building the
+scheduler, adversary and predicate fresh from the spec for every run —
+pinned here so a future refactor cannot quietly start caching them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.experiment import repeat_experiment, run_spec, run_spec_batch
+from repro.protocols.registry import ExperimentSpec, build_cached
+
+#: A spec whose runs attach a live omission adversary and *stop on
+#: convergence* (the default stable-output predicate), i.e. end mid-chunk
+#: with near certainty — exactly the scenario of the foot-gun.
+ADVERSARIAL_SPEC = ExperimentSpec(
+    protocol="leader-election",
+    population=6,
+    model="I3",
+    simulator="skno",
+    omission_bound=1,
+    omissions=1,
+)
+
+RUN_KWARGS = dict(
+    base_seed=3, max_steps=150_000, stability_window=50,
+    trace_policy="counts-only")
+
+
+def fingerprint(outcome):
+    return (
+        outcome.converged,
+        outcome.steps_executed,
+        outcome.steps_to_convergence,
+        outcome.omissions,
+        outcome.final_configuration.states,
+    )
+
+
+class TestAdversaryBuiltFreshPerRun:
+    def test_make_adversary_returns_a_new_instance_each_call(self):
+        built = build_cached(ADVERSARIAL_SPEC)
+        first = built.make_adversary(0)
+        second = built.make_adversary(0)
+        assert first is not None and second is not None
+        assert first is not second
+
+    def test_run_spec_is_a_pure_function_of_spec_and_seed(self):
+        # Interleave other runs between two executions of run index 1: if
+        # any per-run state (adversary, scheduler, predicate) leaked across
+        # runs, the repeat would differ.
+        first = fingerprint(run_spec(ADVERSARIAL_SPEC, 1, **RUN_KWARGS))
+        run_spec(ADVERSARIAL_SPEC, 0, **RUN_KWARGS)
+        run_spec(ADVERSARIAL_SPEC, 2, **RUN_KWARGS)
+        again = fingerprint(run_spec(ADVERSARIAL_SPEC, 1, **RUN_KWARGS))
+        assert first == again
+
+    def test_run_order_cannot_change_outcomes(self):
+        forward = [
+            fingerprint(outcome) for outcome in run_spec_batch(
+                ADVERSARIAL_SPEC, 0, 3, **RUN_KWARGS)]
+        backward = [
+            fingerprint(run_spec(ADVERSARIAL_SPEC, index, **RUN_KWARGS))
+            for index in (2, 1, 0)]
+        assert forward == list(reversed(backward))
+
+    @pytest.mark.parametrize("run_chunk", [1, 2])
+    def test_repeat_experiment_equals_isolated_runs(self, run_chunk):
+        aggregate = repeat_experiment(
+            spec=ADVERSARIAL_SPEC, runs=3, jobs=1, run_chunk=run_chunk,
+            **RUN_KWARGS)
+        isolated = [
+            run_spec(ADVERSARIAL_SPEC, index, **RUN_KWARGS)
+            for index in range(3)]
+        assert aggregate.runs == 3
+        assert aggregate.successes == sum(
+            1 for outcome in isolated if outcome.converged)
+        assert aggregate.convergence_steps == [
+            outcome.steps_to_convergence for outcome in isolated
+            if outcome.converged]
