@@ -8,7 +8,7 @@ This module keeps that formatting in one place.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Sequence, Tuple
 
 from repro.analysis.results_map import (
     ASSUMPTIONS,
@@ -40,6 +40,23 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> st
     return "\n".join(lines)
 
 
+def format_grid(
+    corner: str,
+    row_keys: Sequence[object],
+    col_keys: Sequence[object],
+    cell: Callable[[object, object], object],
+) -> str:
+    """Render a 2-D grid of values as a table.
+
+    ``corner`` labels the row-key column, ``cell(row_key, col_key)`` produces
+    each body cell.  This is the shared renderer behind the Figure 4 map and
+    the campaign verdict grids (:mod:`repro.campaign.report`).
+    """
+    headers = [corner] + [str(key) for key in col_keys]
+    rows = [[str(row)] + [cell(row, col) for col in col_keys] for row in row_keys]
+    return format_table(headers, rows)
+
+
 def format_results_map(overrides: Dict[Tuple[str, str], str] = None) -> str:
     """Render the Figure 4 map as a table.
 
@@ -49,12 +66,10 @@ def format_results_map(overrides: Dict[Tuple[str, str], str] = None) -> str:
     """
     overrides = overrides or {}
     cells = results_map()
-    headers = ["model"] + [assumption for assumption in ASSUMPTIONS]
-    rows: List[List[str]] = []
-    for model in ALL_MODELS:
-        row = [model.name]
-        for assumption in ASSUMPTIONS:
-            cell: ResultCell = cells[(model.name, assumption)]
-            row.append(overrides.get((model.name, assumption), cell.label()))
-        rows.append(row)
-    return format_table(headers, rows)
+
+    def cell_label(model_name: str, assumption: str) -> str:
+        cell: ResultCell = cells[(model_name, assumption)]
+        return overrides.get((model_name, assumption), cell.label())
+
+    return format_grid(
+        "model", [model.name for model in ALL_MODELS], ASSUMPTIONS, cell_label)

@@ -1,0 +1,202 @@
+"""Campaign execution: dispatch planned cells and stream results to the store.
+
+The runner walks the plan in cell order, skips every cell the store
+already holds, and executes the rest through
+:func:`~repro.engine.experiment.repeat_experiment` — each cell fans its
+``runs`` seeds out over the existing sequential/thread/process backends
+(``jobs``/``jobs_backend``/``run_chunk`` are forwarded untouched), so a
+campaign inherits all the determinism guarantees those backends pin:
+a cell's result is a pure function of its resolved spec and seed block,
+whatever the fan-out.
+
+Interruption is a first-class outcome, not an error: cells are persisted
+one by one with atomic appends, so killing the runner between (or during)
+cells loses at most the cell in flight.  ``max_cells`` bounds how many
+*new* cells one invocation executes — the CI smoke and the resume tests
+use it to interrupt campaigns at a deterministic prefix — and a
+``KeyboardInterrupt`` mid-campaign is caught, reported, and leaves the
+store resumable.  ``repro campaign resume`` is the same walk again: done
+cells are skipped by content-addressed id, pending ones run, and the
+finished store folds to a report byte-identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.campaign.planner import CampaignPlan, PlannedCell
+from repro.campaign.store import CELL_KIND, ResultStore
+from repro.engine.backends import BackendError
+from repro.engine.experiment import repeat_experiment
+
+
+@dataclass
+class CampaignRunStatus:
+    """Where a campaign stands after a runner pass (or a status query)."""
+
+    total: int
+    done: int = 0
+    na: int = 0
+    errors: int = 0
+    executed_now: int = 0
+    interrupted: bool = False
+    #: ``True`` only when a KeyboardInterrupt (not a ``max_cells`` cap)
+    #: stopped the walk — the CLI maps it to the conventional exit code 130.
+    keyboard_interrupt: bool = False
+    pending_cells: List[PlannedCell] = field(default_factory=list)
+
+    @property
+    def pending(self) -> int:
+        return len(self.pending_cells)
+
+    @property
+    def complete(self) -> bool:
+        """Every cell is accounted for (result, ``n/a`` verdict, or error)."""
+        return self.pending == 0
+
+    def summary(self) -> str:
+        parts = [f"{self.done}/{self.total} cells done"]
+        if self.na:
+            parts.append(f"{self.na} n/a")
+        if self.errors:
+            parts.append(f"{self.errors} failed")
+        if self.pending:
+            parts.append(f"{self.pending} pending")
+        return ", ".join(parts)
+
+
+def _tally(status: CampaignRunStatus, record: dict) -> None:
+    cell_status = record.get("status")
+    if cell_status == "na":
+        status.na += 1
+        status.done += 1
+    elif cell_status == "error":
+        status.errors += 1
+        status.done += 1
+    else:
+        status.done += 1
+
+
+def status_of_records(plan: CampaignPlan, records: dict) -> CampaignRunStatus:
+    """Fold cell records (by cell id) against the plan — the one tally used
+    by the runner, ``campaign status`` and the report header alike."""
+    status = CampaignRunStatus(total=plan.total)
+    for cell in plan.cells:
+        record = records.get(cell.cell_id)
+        if record is None:
+            status.pending_cells.append(cell)
+        else:
+            _tally(status, record)
+    return status
+
+
+def campaign_status(plan: CampaignPlan, store: ResultStore) -> CampaignRunStatus:
+    """Fold the store against the plan without executing anything."""
+    return status_of_records(plan, store.cell_records)
+
+
+def _cell_record_header(cell: PlannedCell) -> dict:
+    """The fields every persisted cell record shares, whatever its status."""
+    return {
+        "kind": CELL_KIND,
+        "cell_id": cell.cell_id,
+        "index": cell.index,
+        "coordinates": dict(cell.coordinates),
+    }
+
+
+def _execute_cell(cell: PlannedCell, plan: CampaignPlan, *, jobs: int,
+                  jobs_backend: str, run_chunk: int) -> dict:
+    """Run one feasible cell and shape its persistent record."""
+    campaign = plan.campaign
+    record = _cell_record_header(cell)
+    try:
+        spec = cell.build_spec()
+        result = repeat_experiment(
+            spec=spec,
+            runs=campaign.runs,
+            max_steps=campaign.max_steps,
+            stability_window=campaign.stability_window,
+            base_seed=campaign.base_seed,
+            jobs=jobs,
+            jobs_backend=jobs_backend,
+            run_chunk=run_chunk,
+            trace_policy="counts-only",
+        )
+    except (BackendError, KeyError, TypeError, ValueError) as error:
+        # Per-cell verdicts, not campaign aborts: backend compilation /
+        # availability failures, and registry keys or parameters that only
+        # fail at build time (the planner validates what it can up front,
+        # but e.g. kwargs contents and worker-side registries are only
+        # checked by the factories themselves) — record and keep sweeping.
+        # KeyError carries its message in args.
+        message = error.args[0] if isinstance(error, KeyError) and error.args \
+            else str(error)
+        record["status"] = "error"
+        record["error"] = str(message)
+        return record
+    record["status"] = "ok"
+    record["result"] = result.to_dict()
+    return record
+
+
+def run_campaign(
+    plan: CampaignPlan,
+    store: ResultStore,
+    *,
+    jobs: int = 1,
+    jobs_backend: str = "thread",
+    run_chunk: int = 1,
+    max_cells: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CampaignRunStatus:
+    """Execute every pending cell of ``plan``, streaming records to ``store``.
+
+    ``max_cells`` caps the number of cells *newly executed* by this call
+    (``None`` = no cap); the return value reports ``interrupted=True`` when
+    the cap stopped the walk early.  ``progress`` (e.g. ``print``) receives
+    one line per cell.
+    """
+    if max_cells is not None and max_cells < 1:
+        raise ValueError("max_cells must be at least 1")
+    emit = progress if progress is not None else (lambda _message: None)
+    status = CampaignRunStatus(total=plan.total)
+    try:
+        for cell in plan.cells:
+            existing = store.record_for(cell.cell_id)
+            if existing is not None:
+                _tally(status, existing)
+                continue
+            if max_cells is not None and status.executed_now >= max_cells:
+                status.interrupted = True
+                break
+            labels = " ".join(f"{axis}={label}" for axis, label in cell.coordinates)
+            if cell.skip_reason is not None:
+                record = _cell_record_header(cell)
+                record["status"] = "na"
+                record["reason"] = cell.skip_reason
+                emit(f"cell {cell.index + 1}/{plan.total} [{labels}] n/a: "
+                     f"{cell.skip_reason}")
+            else:
+                record = _execute_cell(
+                    cell, plan, jobs=jobs, jobs_backend=jobs_backend,
+                    run_chunk=run_chunk)
+                if record["status"] == "ok":
+                    result = record["result"]
+                    emit(f"cell {cell.index + 1}/{plan.total} [{labels}] "
+                         f"{result['successes']}/{result['runs']} runs converged")
+                else:
+                    emit(f"cell {cell.index + 1}/{plan.total} [{labels}] "
+                         f"ERROR: {record['error']}")
+            store.append_cell(record)
+            status.executed_now += 1
+            _tally(status, record)
+    except KeyboardInterrupt:
+        status.interrupted = True
+        status.keyboard_interrupt = True
+        emit("interrupted — every finished cell is persisted; "
+             "run `repro campaign resume` to continue")
+    status.pending_cells = [
+        cell for cell in plan.cells if store.record_for(cell.cell_id) is None]
+    return status

@@ -1,0 +1,205 @@
+"""The persistent campaign result store: append-only JSONL, atomic appends.
+
+One store file holds the results of one campaign.  The format is
+deliberately primitive — newline-delimited JSON, no third-party
+dependencies, greppable and diffable:
+
+* line 1 is the **manifest**: ``{"kind": "campaign-manifest", "version":
+  1, "campaign": <name>, "campaign_hash": <hash>}``.  The hash fingerprints
+  the expanded grid (see :mod:`repro.campaign.planner`), so a store can
+  only be appended to by the campaign that created it — resuming with an
+  edited spec fails loudly instead of mixing incompatible cells.
+* every further line is one **cell record**: ``{"kind": "cell",
+  "cell_id": ..., "index": ..., "coordinates": {...}, "status":
+  "ok" | "na" | "error", ...}`` with the serialised
+  :class:`~repro.engine.experiment.ExperimentResult` under ``"result"``
+  for ``ok`` cells, the infeasibility reason under ``"reason"`` for
+  ``na`` cells, and the failure message under ``"error"`` for ``error``
+  cells.
+
+Atomicity and crash recovery
+----------------------------
+
+Appends are atomic at cell granularity: each record is written as one
+``write`` of a complete line, flushed and ``fsync``-ed before the runner
+moves on, so a crash can lose at most the cell in flight — never corrupt
+a finished one.  If the process dies mid-write, the file ends in a torn
+(unparseable or unterminated) tail line; :meth:`ResultStore.open` detects
+it, truncates the store back to the last complete record, and resumes
+from there.  Records are keyed by content-addressed ``cell_id``, so
+replaying a lost cell appends an identical record and the folded view of
+the store is unchanged — which is what makes interrupted-and-resumed
+campaigns render byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+MANIFEST_KIND = "campaign-manifest"
+CELL_KIND = "cell"
+STORE_VERSION = 1
+
+
+class StoreError(Exception):
+    """The store file is missing, corrupt, or belongs to another campaign."""
+
+
+def _read_lines(path: str) -> Tuple[List[Dict[str, Any]], int]:
+    """Parse the store, tolerating a torn tail.
+
+    Returns ``(records, good_size)`` where ``good_size`` is the byte offset
+    just past the last complete record — the truncation point for recovery.
+    A torn line anywhere but the tail is corruption and raises.
+    """
+    records: List[Dict[str, Any]] = []
+    good_size = 0
+    with open(path, "rb") as handle:
+        data = handle.read()
+    offset = 0
+    for line in data.splitlines(keepends=True):
+        end = offset + len(line)
+        stripped = line.strip()
+        if stripped:
+            try:
+                record = json.loads(stripped.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                if end != len(data):
+                    raise StoreError(
+                        f"store {path!r} is corrupt: unparseable record at byte "
+                        f"{offset} is not the torn tail of an interrupted write")
+                return records, good_size  # torn tail: recoverable
+            if not line.endswith(b"\n") and end == len(data):
+                # Complete JSON but no terminator: the write was cut exactly
+                # at the payload boundary.  Treat as torn — the record will
+                # be regenerated identically on resume.
+                return records, good_size
+            records.append(record)
+            good_size = end
+        offset = end
+    return records, good_size
+
+
+class ResultStore:
+    """Append-only JSONL store bound to one campaign's grid."""
+
+    def __init__(self, path: str, manifest: Dict[str, Any],
+                 cell_records: Dict[str, Dict[str, Any]]):
+        self.path = path
+        self.manifest = manifest
+        self._cells = cell_records
+
+    # -- opening ----------------------------------------------------------------
+
+    @classmethod
+    def create(cls, path: str, campaign_name: str, campaign_hash: str) -> "ResultStore":
+        """Create a fresh store (the file must not already hold records)."""
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        with open(path, "x", encoding="utf-8") as handle:
+            manifest = cls._write_manifest(handle, campaign_name, campaign_hash)
+        return cls(path, manifest, {})
+
+    @staticmethod
+    def _write_manifest(handle, campaign_name: str, campaign_hash: str) -> Dict[str, Any]:
+        manifest = {
+            "kind": MANIFEST_KIND,
+            "version": STORE_VERSION,
+            "campaign": campaign_name,
+            "campaign_hash": campaign_hash,
+        }
+        handle.write(json.dumps(manifest, sort_keys=True) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+        return manifest
+
+    @classmethod
+    def open(cls, path: str, campaign_name: str, campaign_hash: str, *,
+             recover: bool = True) -> "ResultStore":
+        """Open an existing store, recover torn tails, verify the fingerprint.
+
+        ``recover=False`` makes the open strictly read-only: torn tails are
+        still tolerated (skipped) but nothing is written back — the mode
+        for ``repro campaign status``/``report``, which must never claim or
+        repair a file.  Recovery writes happen only on ``run``/``resume``
+        opens.
+        """
+        if not os.path.exists(path):
+            raise StoreError(f"no result store at {path!r}; run the campaign first")
+        records, good_size = _read_lines(path)
+        if not records:
+            # No complete record at all: either an empty file or a manifest
+            # line torn by a crash during create().  Nothing is lost (no
+            # cell had been persisted), so re-initialise in place — but only
+            # if the torn bytes are recognisably our own manifest (the
+            # sort_keys dump starts with "campaign"); anything else is not a
+            # campaign store and must not be silently overwritten.
+            with open(path, "rb") as handle:
+                leftover = handle.read()
+            if not recover or (leftover
+                               and not leftover.startswith(b'{"campaign')):
+                raise StoreError(f"store {path!r} has no campaign manifest line")
+            with open(path, "w", encoding="utf-8") as handle:
+                manifest = cls._write_manifest(handle, campaign_name, campaign_hash)
+            return cls(path, manifest, {})
+        if records[0].get("kind") != MANIFEST_KIND:
+            raise StoreError(f"store {path!r} has no campaign manifest line")
+        manifest = records[0]
+        if manifest.get("version") != STORE_VERSION:
+            raise StoreError(
+                f"store {path!r} is version {manifest.get('version')!r}; "
+                f"this build reads version {STORE_VERSION}")
+        if manifest.get("campaign_hash") != campaign_hash:
+            raise StoreError(
+                f"store {path!r} belongs to campaign {manifest.get('campaign')!r} "
+                f"with grid hash {manifest.get('campaign_hash')}, not to "
+                f"{campaign_name!r} with grid hash {campaign_hash}; "
+                "the campaign spec changed since this store was written")
+        if recover and good_size < os.path.getsize(path):
+            # Torn tail from an interrupted write: truncate back to the last
+            # complete record so future appends start on a clean boundary.
+            with open(path, "r+b") as handle:
+                handle.truncate(good_size)
+        cells: Dict[str, Dict[str, Any]] = {}
+        for record in records[1:]:
+            if record.get("kind") != CELL_KIND:
+                raise StoreError(
+                    f"store {path!r} holds an unknown record kind "
+                    f"{record.get('kind')!r}")
+            cells[record["cell_id"]] = record
+        return cls(path, manifest, cells)
+
+    @classmethod
+    def open_or_create(cls, path: str, campaign_name: str,
+                       campaign_hash: str) -> "ResultStore":
+        if os.path.exists(path):
+            return cls.open(path, campaign_name, campaign_hash)
+        return cls.create(path, campaign_name, campaign_hash)
+
+    # -- reading ----------------------------------------------------------------
+
+    def completed_ids(self) -> set:
+        """Cell ids with a persisted record (any status)."""
+        return set(self._cells)
+
+    def record_for(self, cell_id: str) -> Optional[Dict[str, Any]]:
+        return self._cells.get(cell_id)
+
+    @property
+    def cell_records(self) -> Dict[str, Dict[str, Any]]:
+        return dict(self._cells)
+
+    # -- writing ----------------------------------------------------------------
+
+    def append_cell(self, record: Dict[str, Any]) -> None:
+        """Persist one finished cell: a single flushed, fsync-ed line."""
+        if record.get("kind") != CELL_KIND or "cell_id" not in record:
+            raise StoreError("cell records need kind='cell' and a cell_id")
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._cells[record["cell_id"]] = record

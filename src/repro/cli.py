@@ -11,6 +11,18 @@ The CLI exposes the library's main workflows without writing any Python:
     Execute the Lemma 1 construction (Theorem 3.1) or the NO1 single-omission
     attack (Theorem 3.2) against ``SKnO`` and report the violation.
 
+``repro campaign``
+    Declarative, resumable parameter-sweep campaigns
+    (:mod:`repro.campaign`): ``run`` a JSON campaign spec over a grid of
+    experiments with a persistent JSONL result store, ``status`` it,
+    ``resume`` an interrupted sweep (completed cells are skipped), and
+    render a Figure-4-style ``report``.
+
+``repro list``
+    Print every registered protocol, simulator, predicate, scheduler and
+    adversary, the available engine/fan-out backends, and any third-party
+    entry points that failed to load.
+
 ``repro map``
     Print the Figure 4 map of results.
 
@@ -28,6 +40,10 @@ Examples::
               --trace-policy counts-only
     repro run --protocol epidemic --population 100000 --engine-backend array \
               --trace-policy counts-only --max-steps 2000000
+    repro campaign run examples/figure4_omission_sweep.json
+    repro campaign resume examples/figure4_omission_sweep.json
+    repro campaign report examples/figure4_omission_sweep.json
+    repro list
     repro attack lemma1 --omission-bound 1
     repro attack no1 --model I1
     repro map
@@ -37,12 +53,17 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from repro.adversary.constructions import Lemma1Construction, no1_liveness_attack
-from repro.adversary.omission import BoundedOmissionAdversary
 from repro.analysis.reporting import format_results_map, format_table
+from repro.campaign.planner import plan_campaign
+from repro.campaign.report import render_report
+from repro.campaign.runner import campaign_status, run_campaign
+from repro.campaign.spec import CampaignError, campaign_from_file
+from repro.campaign.store import ResultStore, StoreError
 from repro.core.skno import SKnOSimulator
 from repro.core.verification import verify_simulation
 from repro.engine.backends import ENGINE_BACKENDS, BackendError
@@ -55,7 +76,11 @@ from repro.interaction.models import MODELS_BY_NAME, get_model
 from repro.protocols.catalog import CATALOG, get_protocol
 from repro.protocols.catalog.pairing import PairingProtocol
 from repro.protocols.registry import (
+    ADVERSARIES,
+    ENTRY_POINT_ERRORS,
+    PREDICATES,
     SCHEDULERS,
+    SIMULATORS,
     ExperimentSpec,
     build_simulator,
     default_initial_configuration,
@@ -104,7 +129,7 @@ def _command_run(args) -> int:
 
     adversary = None
     if args.omissions > 0:
-        adversary = BoundedOmissionAdversary(model, max_omissions=args.omissions, seed=args.seed)
+        adversary = ADVERSARIES[args.adversary](model, args.omissions, seed=args.seed)
 
     scheduler = SCHEDULERS[args.scheduler](args.population, seed=args.seed)
     engine = SimulationEngine(
@@ -175,6 +200,7 @@ def _run_repeated(args, protocol, model, simulator, protocol_kwargs) -> int:
         simulator=args.simulator,
         omission_bound=args.omission_bound,
         omissions=args.omissions,
+        adversary=args.adversary,
         ones=args.ones,
         predicate="stable-output",
         scheduler=args.scheduler,
@@ -266,6 +292,110 @@ def _command_attack(args) -> int:
     return 0 if (result.liveness_violated or result.safety_violated) else 1
 
 
+def _default_store_path(spec_path: str) -> str:
+    """Store path derived from the spec path: ``<spec stem>.results.jsonl``."""
+    stem, _ = os.path.splitext(spec_path)
+    return stem + ".results.jsonl"
+
+
+def _load_campaign(args):
+    """Parse the campaign spec, expand the plan, resolve the store path."""
+    try:
+        campaign = campaign_from_file(args.spec)
+        plan = plan_campaign(campaign)
+    except CampaignError as error:
+        raise SystemExit(f"campaign spec {args.spec}: {error}")
+    store_path = args.store if args.store else _default_store_path(args.spec)
+    return plan, store_path
+
+
+def _command_campaign(args) -> int:
+    if args.action in ("run", "resume"):
+        if args.max_cells is not None and args.max_cells < 1:
+            raise SystemExit("--max-cells must be at least 1")
+        if args.jobs < 1:
+            raise SystemExit("--jobs must be at least 1")
+        if args.run_chunk < 1:
+            raise SystemExit("--run-chunk must be at least 1")
+    plan, store_path = _load_campaign(args)
+    campaign = plan.campaign
+    try:
+        if args.action == "run":
+            store = ResultStore.open_or_create(
+                store_path, campaign.name, plan.campaign_hash)
+        else:
+            # status/report are strictly read-only opens; only run/resume
+            # may repair torn tails or re-initialise a torn manifest.
+            store = ResultStore.open(
+                store_path, campaign.name, plan.campaign_hash,
+                recover=args.action == "resume")
+    except StoreError as error:
+        raise SystemExit(str(error))
+
+    if args.action in ("run", "resume"):
+        progress = None if args.quiet else print
+        status = run_campaign(
+            plan, store,
+            jobs=args.jobs,
+            jobs_backend=args.backend,
+            run_chunk=args.run_chunk,
+            max_cells=args.max_cells,
+            progress=progress,
+        )
+        print(f"campaign {campaign.name}: {status.summary()}  (store: {store_path})")
+        if status.pending:
+            print(f"resume with: repro campaign resume {args.spec} "
+                  f"--store {store_path}")
+        if status.keyboard_interrupt:
+            # A signal interruption is not a completed run (a --max-cells
+            # cap is): use the conventional SIGINT exit code so wrappers
+            # don't treat the partial sweep as success.
+            return 130
+        return 1 if status.errors else 0
+
+    status = campaign_status(plan, store)
+    if args.action == "status":
+        rows = [
+            ["campaign", campaign.name],
+            ["grid hash", plan.campaign_hash],
+            ["store", store_path],
+            ["cells", plan.total],
+            ["done", status.done],
+            ["n/a", status.na],
+            ["failed", status.errors],
+            ["pending", status.pending],
+        ]
+        print(format_table(["quantity", "value"], rows))
+        return 0 if status.complete and not status.errors else 1
+
+    # action == "report"
+    print(render_report(plan, store.cell_records), end="")
+    return 0 if status.complete and not status.errors else 1
+
+
+def _command_list(_args) -> int:
+    sections = [
+        ("protocols", sorted(CATALOG)),
+        ("simulators", sorted(SIMULATORS)),
+        ("predicates", sorted(PREDICATES)),
+        ("schedulers", sorted(SCHEDULERS)),
+        ("adversaries", sorted(ADVERSARIES)),
+        ("engine backends", list(ENGINE_BACKENDS)),
+        ("fan-out backends", list(JOBS_BACKENDS)),
+    ]
+    rows = [[kind, ", ".join(names)] for kind, names in sections]
+    print(format_table(["registry", "registered keys"], rows))
+    if ENTRY_POINT_ERRORS:
+        print()
+        print("entry points that FAILED to load (repro.protocols group):")
+        for name in sorted(ENTRY_POINT_ERRORS):
+            print(f"  ! {name}: {ENTRY_POINT_ERRORS[name]}")
+    else:
+        print()
+        print("all repro.protocols entry points loaded cleanly")
+    return 0
+
+
 def _command_map(_args) -> int:
     print(format_results_map())
     print()
@@ -299,6 +429,12 @@ def build_parser() -> argparse.ArgumentParser:
                             help="bound o announced to SKnO")
     run_parser.add_argument("--omissions", type=int, default=0,
                             help="omissions actually injected by the adversary")
+    run_parser.add_argument("--adversary", choices=sorted(ADVERSARIES), default="bounded",
+                            help="adversary class injecting the omissions (active "
+                                 "when --omissions > 0): bounded (hard budget of "
+                                 "--omissions), no1 (single pinned omission), uo "
+                                 "(injects forever), no (stops after its active "
+                                 "window)")
     run_parser.add_argument("--ones", type=int, default=None,
                             help="number of agents with input 1 (threshold/OR/AND/parity)")
     run_parser.add_argument("--threshold", type=int, default=None)
@@ -345,6 +481,37 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--ring-size", type=int, default=64,
                             help="trailing window size for --trace-policy ring")
     run_parser.set_defaults(handler=_command_run)
+
+    campaign_parser = subparsers.add_parser(
+        "campaign",
+        help="declarative, resumable parameter-sweep campaigns over a result store")
+    campaign_parser.add_argument(
+        "action", choices=("run", "status", "resume", "report"),
+        help="run: execute pending cells (creates the store); resume: continue "
+             "an interrupted campaign (requires the store); status: progress "
+             "summary; report: render the verdict grids and per-cell table")
+    campaign_parser.add_argument("spec", help="path to the campaign spec (JSON)")
+    campaign_parser.add_argument(
+        "--store", default=None,
+        help="result store path (default: <spec stem>.results.jsonl next to the spec)")
+    campaign_parser.add_argument("--jobs", type=int, default=1,
+                                 help="workers for each cell's per-seed fan-out")
+    campaign_parser.add_argument("--backend", choices=JOBS_BACKENDS, default="thread",
+                                 help="fan-out backend for each cell's runs")
+    campaign_parser.add_argument("--run-chunk", type=int, default=1,
+                                 help="consecutive seeds per executor task "
+                                      "(see repro run --run-chunk)")
+    campaign_parser.add_argument("--max-cells", type=int, default=None,
+                                 help="stop after executing this many new cells "
+                                      "(deterministic interruption; resume later)")
+    campaign_parser.add_argument("--quiet", action="store_true",
+                                 help="suppress per-cell progress lines")
+    campaign_parser.set_defaults(handler=_command_campaign)
+
+    list_parser = subparsers.add_parser(
+        "list", help="list registered protocols, simulators, predicates, "
+                     "schedulers, adversaries and backends")
+    list_parser.set_defaults(handler=_command_list)
 
     attack_parser = subparsers.add_parser("attack", help="execute an impossibility construction")
     attack_parser.add_argument("kind", choices=("lemma1", "no1"))

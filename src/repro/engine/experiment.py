@@ -111,6 +111,30 @@ class ExperimentResult:
             f"mean-steps={mean_text}"
         )
 
+    def to_dict(self) -> dict:
+        """Plain-data form for persistence (the campaign result store).
+
+        ``failure_dumps`` is deliberately dropped: trailing
+        :class:`~repro.engine.trace.TraceStep` windows are live objects, and
+        stores hold only JSON-serialisable data.
+        """
+        return {
+            "runs": self.runs,
+            "successes": self.successes,
+            "convergence_steps": list(self.convergence_steps),
+            "failures": list(self.failures),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentResult":
+        """Rebuild a result persisted by :meth:`to_dict`."""
+        return cls(
+            runs=data["runs"],
+            successes=data["successes"],
+            convergence_steps=list(data.get("convergence_steps", ())),
+            failures=list(data.get("failures", ())),
+        )
+
 
 def run_spec(
     spec: ExperimentSpec,

@@ -23,10 +23,14 @@ Registries
   and returns a fresh predicate per run (so stateful incremental
   predicates are safe under any backend).
 * :data:`SCHEDULERS` — scheduler factories ``factory(n, seed)``.
+* :data:`ADVERSARIES` — omission-adversary factories
+  ``factory(model, omissions, seed, **kwargs)`` by class name
+  (``bounded``/``no1``/``uo``/``no``); built fresh per run because
+  adversaries are stateful.
 
 Extending: call :func:`register_protocol` / :func:`register_predicate` /
-:func:`register_scheduler` / :func:`register_simulator` at import time of
-your own module.  Keys resolve *inside each worker process*, so the
+:func:`register_scheduler` / :func:`register_simulator` /
+:func:`register_adversary` at import time of your own module.  Keys resolve *inside each worker process*, so the
 registering module must be imported there too — register at module top
 level, not inside functions.
 
@@ -44,7 +48,12 @@ import importlib.metadata
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
-from repro.adversary.omission import BoundedOmissionAdversary
+from repro.adversary.omission import (
+    BoundedOmissionAdversary,
+    NO1Adversary,
+    NOAdversary,
+    UOAdversary,
+)
 from repro.core.naming import KnownSizeSimulator
 from repro.engine.backends import validate_backend
 from repro.engine.fastpath import AgentCountPredicate
@@ -258,6 +267,45 @@ def register_scheduler(key: str, factory: Callable[..., Any]) -> None:
 
 
 # ---------------------------------------------------------------------------
+# adversaries
+# ---------------------------------------------------------------------------
+
+
+def _bounded_adversary(model, omissions, seed=None, **kwargs):
+    return BoundedOmissionAdversary(model, max_omissions=omissions, seed=seed, **kwargs)
+
+
+def _no1_adversary(model, omissions, seed=None, **kwargs):
+    return NO1Adversary(model, seed=seed, **kwargs)
+
+
+def _uo_adversary(model, omissions, seed=None, **kwargs):
+    return UOAdversary(model, seed=seed, **kwargs)
+
+
+def _no_adversary(model, omissions, seed=None, **kwargs):
+    return NOAdversary(model, seed=seed, **kwargs)
+
+
+#: Adversary factories ``factory(model, omissions, seed, **kwargs) ->
+#: adversary`` by name.  ``omissions`` is the spec's omission budget: it is
+#: the hard budget for ``bounded``, fixed at one for ``no1``, and for the
+#: budgetless classes (``uo`` injects forever, ``no`` stops after its
+#: ``active_steps``) any positive value merely activates the adversary.
+ADVERSARIES: Dict[str, Callable[..., Any]] = {
+    "bounded": _bounded_adversary,
+    "no1": _no1_adversary,
+    "uo": _uo_adversary,
+    "no": _no_adversary,
+}
+
+
+def register_adversary(key: str, factory: Callable[..., Any]) -> None:
+    """Register an adversary factory under ``key`` (import-time only)."""
+    ADVERSARIES[key] = factory
+
+
+# ---------------------------------------------------------------------------
 # the picklable experiment description
 # ---------------------------------------------------------------------------
 
@@ -310,12 +358,15 @@ class ExperimentSpec:
     predicate: str = "stable-output"
     scheduler: str = "random"
     scheduler_kwargs: Tuple[Tuple[str, Any], ...] = ()
+    adversary: str = "bounded"
+    adversary_kwargs: Tuple[Tuple[str, Any], ...] = ()
     chunk_size: Optional[int] = None
     backend: str = "python"
 
     def __post_init__(self):
         object.__setattr__(self, "protocol_kwargs", _as_items(self.protocol_kwargs))
         object.__setattr__(self, "scheduler_kwargs", _as_items(self.scheduler_kwargs))
+        object.__setattr__(self, "adversary_kwargs", _as_items(self.adversary_kwargs))
         if self.population < 2:
             raise ValueError("a population needs at least two agents to interact")
         if self.omissions < 0 or self.omission_bound < 0:
@@ -343,6 +394,10 @@ class ExperimentSpec:
             known = ", ".join(sorted(SCHEDULERS))
             raise KeyError(
                 f"unknown scheduler {self.scheduler!r}; known schedulers: {known}")
+        if self.adversary not in ADVERSARIES:
+            known = ", ".join(sorted(ADVERSARIES))
+            raise KeyError(
+                f"unknown adversary {self.adversary!r}; known adversaries: {known}")
         return BuiltExperiment(
             spec=self,
             protocol=protocol,
@@ -384,8 +439,9 @@ class BuiltExperiment:
         """A fresh omission adversary for one run (``None`` when ``omissions == 0``)."""
         if self.spec.omissions <= 0:
             return None
-        return BoundedOmissionAdversary(
-            self.model, max_omissions=self.spec.omissions, seed=seed)
+        return ADVERSARIES[self.spec.adversary](
+            self.model, self.spec.omissions, seed=seed,
+            **dict(self.spec.adversary_kwargs))
 
 
 #: Per-process cache of built experiments: a process-pool worker receives
