@@ -111,7 +111,7 @@ class Lemma1Construction:
         extension_seed: int = 0,
         max_extension: int = 20_000,
         max_ftt_depth: int = 64,
-    ):
+    ) -> None:
         if not model.allows_omissions or model.one_way:
             raise ConstructionError(
                 "Lemma 1 is phrased for the two-way omissive models; use T3 "

@@ -201,7 +201,7 @@ class NoOmissionAdversary(OmissionAdversary):
 class _RandomOmissionMixin:
     """Shared machinery: choose random pairs and random admissible omission kinds."""
 
-    def __init__(self, model: InteractionModel, seed: Optional[int] = None):
+    def __init__(self, model: InteractionModel, seed: Optional[int] = None) -> None:
         self.model = model
         omissive = [o for o in model.admissible_omissions() if o.is_omissive]
         if not omissive:
@@ -280,7 +280,7 @@ class UOAdversary(_RandomOmissionMixin, OmissionAdversary):
         rate: float = 0.25,
         max_per_gap: int = 3,
         seed: Optional[int] = None,
-    ):
+    ) -> None:
         if rate < 0:
             raise ValueError("rate must be non-negative")
         if max_per_gap < 0:
@@ -328,7 +328,7 @@ class NOAdversary(_RandomOmissionMixin, OmissionAdversary):
         rate: float = 0.25,
         max_per_gap: int = 3,
         seed: Optional[int] = None,
-    ):
+    ) -> None:
         if active_steps < 0:
             raise ValueError("active_steps must be non-negative")
         super().__init__(model=model, seed=seed)
@@ -392,7 +392,7 @@ class BoundedOmissionAdversary(_RandomOmissionMixin, OmissionAdversary):
         max_omissions: int,
         rate: float = 0.5,
         seed: Optional[int] = None,
-    ):
+    ) -> None:
         if max_omissions < 0:
             raise ValueError("max_omissions must be non-negative")
         super().__init__(model=model, seed=seed)
@@ -474,7 +474,7 @@ class NO1Adversary(BoundedOmissionAdversary):
         inject_at: int = 0,
         pair: Optional[Tuple[int, int]] = None,
         seed: Optional[int] = None,
-    ):
+    ) -> None:
         super().__init__(model=model, max_omissions=1, rate=1.0, seed=seed)
         self.inject_at = inject_at
         self.pair = pair

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.interaction.models import InteractionModel
 from repro.interaction.omissions import NO_OMISSION, Omission
@@ -57,7 +57,7 @@ def _successors(
     model: InteractionModel,
     configuration: Configuration,
     allow_omission: bool,
-):
+) -> Iterator[Tuple[Configuration, bool]]:
     """All configurations reachable in one interaction, tagged with omission use."""
     n = len(configuration)
     omissions = model.admissible_omissions() if allow_omission else [NO_OMISSION]

@@ -144,8 +144,10 @@ def _verdict_grids(plan: CampaignPlan,
     for combo in itertools.product(*other_labels):
         fixed = dict(zip(other_axes, combo))
         lines.append("")
+        # Join over the (axis, label) pairs, not fixed.items(): header
+        # bytes must depend on the spec's axis order alone (RPL006).
         lines.append("== " + " ".join(
-            f"{axis}={label}" for axis, label in fixed.items()) + " ==")
+            f"{axis}={label}" for axis, label in zip(other_axes, combo)) + " ==")
         lines.append(grid_for(fixed))
     return lines
 

@@ -86,7 +86,7 @@ class ResultStore:
     """Append-only JSONL store bound to one campaign's grid."""
 
     def __init__(self, path: str, manifest: Dict[str, Any],
-                 cell_records: Dict[str, Dict[str, Any]]):
+                 cell_records: Dict[str, Dict[str, Any]]) -> None:
         self.path = path
         self.manifest = manifest
         self._cells = cell_records

@@ -23,6 +23,11 @@ The CLI exposes the library's main workflows without writing any Python:
     adversary, the available engine/fan-out backends, and any third-party
     entry points that failed to load.
 
+``repro lint``
+    Run the determinism-contracts static-analysis pass
+    (:mod:`repro.lint`) over the package sources (or given paths); the
+    repo self-hosts it with zero findings and CI enforces that.
+
 ``repro map``
     Print the Figure 4 map of results.
 
@@ -43,6 +48,7 @@ Examples::
     repro campaign run examples/figure4_omission_sweep.json
     repro campaign resume examples/figure4_omission_sweep.json
     repro campaign report examples/figure4_omission_sweep.json
+    repro lint --format json
     repro list
     repro attack lemma1 --omission-bound 1
     repro attack no1 --model I1
@@ -55,11 +61,11 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.adversary.constructions import Lemma1Construction, no1_liveness_attack
 from repro.analysis.reporting import format_results_map, format_table
-from repro.campaign.planner import plan_campaign
+from repro.campaign.planner import CampaignPlan, plan_campaign
 from repro.campaign.report import render_report
 from repro.campaign.runner import campaign_status, run_campaign
 from repro.campaign.spec import CampaignError, campaign_from_file
@@ -73,6 +79,7 @@ from repro.engine.experiment import JOBS_BACKENDS, repeat_experiment
 from repro.interaction.adapters import one_way_as_two_way
 from repro.interaction.hierarchy import HIERARCHY_EDGES, topological_order
 from repro.interaction.models import MODELS_BY_NAME, get_model
+from repro.lint.cli import add_lint_arguments, command_lint
 from repro.protocols.catalog import CATALOG, get_protocol
 from repro.protocols.catalog.pairing import PairingProtocol
 from repro.protocols.registry import (
@@ -210,7 +217,7 @@ def _run_repeated(args, protocol, model, simulator, protocol_kwargs) -> int:
 
     validate = None
     if args.trace_policy == "full":
-        def validate(outcome):
+        def validate(outcome) -> Optional[str]:
             report = verify_simulation(simulator, outcome.trace)
             if not report.ok:
                 return f"simulation verification: {report.errors[0]}" if report.errors \
@@ -298,7 +305,7 @@ def _default_store_path(spec_path: str) -> str:
     return stem + ".results.jsonl"
 
 
-def _load_campaign(args):
+def _load_campaign(args) -> Tuple[CampaignPlan, str]:
     """Parse the campaign spec, expand the plan, resolve the store path."""
     try:
         campaign = campaign_from_file(args.spec)
@@ -512,6 +519,12 @@ def build_parser() -> argparse.ArgumentParser:
         "list", help="list registered protocols, simulators, predicates, "
                      "schedulers, adversaries and backends")
     list_parser.set_defaults(handler=_command_list)
+
+    lint_parser = subparsers.add_parser(
+        "lint", help="run the determinism-contracts static-analysis pass "
+                     "(RPL001-RPL006) over the package sources")
+    add_lint_arguments(lint_parser)
+    lint_parser.set_defaults(handler=command_lint)
 
     attack_parser = subparsers.add_parser("attack", help="execute an impossibility construction")
     attack_parser.add_argument("kind", choices=("lemma1", "no1"))

@@ -38,7 +38,7 @@ class TwoWaySimulator(OneWayProtocol):
     #: Names of the interaction models this simulator is designed for.
     compatible_models: Tuple[str, ...] = ()
 
-    def __init__(self, protocol: PopulationProtocol, name: Optional[str] = None):
+    def __init__(self, protocol: PopulationProtocol, name: Optional[str] = None) -> None:
         if not isinstance(protocol, PopulationProtocol):
             raise SimulatorError(
                 "a simulator wraps a two-way PopulationProtocol; got "

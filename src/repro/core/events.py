@@ -298,7 +298,7 @@ def replay_derived_run_anonymous(
     def put(state: State) -> None:
         counts[state] = counts.get(state, 0) + 1
 
-    def take_in_flight(state: State):
+    def take_in_flight(state: State) -> Optional[list]:
         """Consume a pool entry with post-state ``state``; returns it or None."""
         for position, entry in enumerate(pool):
             pre, post = entry

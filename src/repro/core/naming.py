@@ -66,7 +66,7 @@ class KnownSizeSimulator(TwoWaySimulator):
 
     compatible_models = ("IO", "IT", "I1", "I2", "I3")
 
-    def __init__(self, protocol: PopulationProtocol, population_size: int, name: Optional[str] = None):
+    def __init__(self, protocol: PopulationProtocol, population_size: int, name: Optional[str] = None) -> None:
         if population_size < 1:
             raise SimulatorError("population_size must be at least 1")
         super().__init__(protocol, name=name or f"Nn+SID(n={population_size})")

@@ -65,7 +65,7 @@ class SIDSimulator(TwoWaySimulator):
 
     compatible_models = ("IO", "IT", "I1", "I2", "I3")
 
-    def __init__(self, protocol: PopulationProtocol, name: Optional[str] = None):
+    def __init__(self, protocol: PopulationProtocol, name: Optional[str] = None) -> None:
         super().__init__(protocol, name=name or "SID")
 
     # -- initial states -------------------------------------------------------------------------

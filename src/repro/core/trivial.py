@@ -26,7 +26,7 @@ class TrivialTwoWaySimulator(TwoWaySimulator):
 
     compatible_models = ("TW",)
 
-    def __init__(self, protocol: PopulationProtocol, name: Optional[str] = None):
+    def __init__(self, protocol: PopulationProtocol, name: Optional[str] = None) -> None:
         super().__init__(protocol, name=name or "TW-baseline")
 
     # -- states --------------------------------------------------------------------------------

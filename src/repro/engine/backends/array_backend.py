@@ -93,7 +93,7 @@ class CompiledProgram:
 
     __slots__ = ("interner", "size", "delta_starter", "delta_reactor")
 
-    def __init__(self, interner: StateInterner, delta_starter, delta_reactor):
+    def __init__(self, interner: StateInterner, delta_starter, delta_reactor) -> None:
         self.interner = interner
         self.size = len(interner)
         self.delta_starter = delta_starter
@@ -254,7 +254,7 @@ class _CountStreakTracker:
     __slots__ = ("mask", "target_count", "streak_target", "count", "consecutive")
 
     def __init__(self, mask, target_count: int, streak_target: int,
-                 count: int, consecutive: int):
+                 count: int, consecutive: int) -> None:
         self.mask = mask
         self.target_count = target_count
         self.streak_target = streak_target
@@ -356,7 +356,7 @@ class ArrayBackend(ExecutionBackend):
 
     # -- shared setup --------------------------------------------------------
 
-    def _compile_run(self, program, model, scheduler, initial_configuration):
+    def _compile_run(self, program, model, scheduler, initial_configuration) -> "Tuple[CompiledProgram, ArrayDrawKernel, np.ndarray]":
         compiled = compile_program(program, model)
         # The kernel carries the scheduler's draw-stream position, so it
         # must live exactly as long as the scheduler: repeated runs on one

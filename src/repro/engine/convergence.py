@@ -41,7 +41,7 @@ class ConvergenceResult:
     #: under ``full`` the complete step list lives on ``trace``).
     last_steps: Tuple[TraceStep, ...] = field(default=())
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.final is None and self.trace is not None:
             self.final = self.trace.final_configuration
 

@@ -67,7 +67,7 @@ class SimulationEngine:
         scheduler: Scheduler,
         adversary: Optional[Any] = None,
         backend: str = "python",
-    ):
+    ) -> None:
         self.program = program
         self.model = model
         self.scheduler = scheduler

@@ -101,13 +101,16 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Tuple
 
 from repro.engine.trace import Trace, TraceStep
 from repro.interaction.models import InteractionModel
 from repro.protocols.state import Configuration, MutableConfiguration, State
 from repro.scheduling.runs import Interaction
 from repro.scheduling.scheduler import Scheduler
+
+if TYPE_CHECKING:  # the adversary layer sits above the engine; import for types only
+    from repro.adversary.omission import ChunkPlan
 
 #: The selectable trace policies, in decreasing order of detail.
 TRACE_POLICIES = ("full", "counts-only", "ring")
@@ -137,7 +140,7 @@ class FullRecorder:
     policy = "full"
     __slots__ = ("steps", "omissions")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.steps: List[TraceStep] = []
         self.omissions = 0
 
@@ -179,7 +182,7 @@ class CountsOnlyRecorder:
     policy = "counts-only"
     __slots__ = ("omissions",)
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.omissions = 0
 
     def record(self, interaction, starter_pre, starter_post, reactor_pre, reactor_post) -> None:
@@ -203,7 +206,7 @@ class RingRecorder:
     policy = "ring"
     __slots__ = ("omissions", "_ring", "_count")
 
-    def __init__(self, ring_size: int):
+    def __init__(self, ring_size: int) -> None:
         if ring_size < 1:
             raise ValueError("ring_size must be at least 1")
         self.omissions = 0
@@ -232,7 +235,7 @@ class RingRecorder:
         return tuple(self._ring)
 
 
-def make_recorder(trace_policy: str, ring_size: Optional[int] = None):
+def make_recorder(trace_policy: str, ring_size: Optional[int] = None) -> "FullRecorder | CountsOnlyRecorder | RingRecorder":
     """Build the recorder for ``trace_policy`` (one of :data:`TRACE_POLICIES`)."""
     if trace_policy == "full":
         return FullRecorder()
@@ -317,7 +320,7 @@ class AgentCountPredicate(IncrementalPredicate):
     evaluated n times at :meth:`reset` and then at most twice per step.
     """
 
-    def __init__(self, satisfies: Callable[[State], bool], target: Optional[int] = None):
+    def __init__(self, satisfies: Callable[[State], bool], target: Optional[int] = None) -> None:
         self._satisfies = satisfies
         self._target = target
         self._count = 0
@@ -335,7 +338,7 @@ class AgentCountPredicate(IncrementalPredicate):
             self._count += satisfies(new_state) - satisfies(old_state)
         return self._holds()
 
-    def as_state_count(self):
+    def as_state_count(self) -> Optional[Tuple[Callable[[State], bool], Optional[int]]]:
         """State-count predicates are compilable by construction."""
         return self._satisfies, self._target
 
@@ -370,7 +373,7 @@ class PredicateAdapter(IncrementalPredicate):
 
     consumes_deltas = False
 
-    def __init__(self, predicate: Callable[[Any], bool]):
+    def __init__(self, predicate: Callable[[Any], bool]) -> None:
         self._predicate = predicate
         self._view: Any = None
 
@@ -453,7 +456,7 @@ def run_core(
             # (its constructions import engine.py).
             from repro.adversary.omission import plan_interactions_per_step
 
-            def plan_chunk(step, chunk, n, budget, _adversary=adversary):
+            def plan_chunk(step, chunk, n, budget, _adversary=adversary) -> "ChunkPlan":
                 return plan_interactions_per_step(_adversary, step, chunk, n, budget)
 
     infinite = max_steps == float("inf")

@@ -47,7 +47,7 @@ class TraceStep:
 class Trace:
     """The execution of a program: initial configuration plus per-step deltas."""
 
-    def __init__(self, initial: Configuration):
+    def __init__(self, initial: Configuration) -> None:
         self._initial = initial
         self._steps: List[TraceStep] = []
         self._current = initial

@@ -36,7 +36,7 @@ class OneWayAsTwoWay:
     are special cases of two-way protocols.
     """
 
-    def __init__(self, program: Any):
+    def __init__(self, program: Any) -> None:
         if not hasattr(program, "f"):
             raise TypeError(
                 "one_way_as_two_way expects a one-way program exposing f (and g); "
@@ -71,7 +71,7 @@ class OneWayAsTwoWay:
             return reactor
         return handler(reactor)
 
-    def __getattr__(self, item):
+    def __getattr__(self, item) -> Any:
         # Projection, event extraction, initial-state construction etc. are
         # delegated to the wrapped program so simulators stay fully usable
         # through the adapter.
@@ -94,7 +94,7 @@ class NaiveOneWayProjection(OneWayProtocol):
     showing why simulators are needed at all.
     """
 
-    def __init__(self, protocol: PopulationProtocol):
+    def __init__(self, protocol: PopulationProtocol) -> None:
         super().__init__(
             states=protocol.states,
             initial_states=protocol.initial_states,

@@ -1,0 +1,64 @@
+"""``repro lint``: the determinism-contracts static-analysis pass.
+
+Every claim this reproduction makes — Figure-4 verdict grids, backend
+equivalence, byte-identical campaign resume — rests on determinism
+invariants that used to live only in prose and example-based tests.
+This package turns them into enforced, machine-checkable rules:
+
+======  =====================================================================
+code    contract
+======  =====================================================================
+RPL001  no unseeded RNG construction or module-level ``random.*`` /
+        ``np.random.*`` calls in ``src/`` — seeds must flow from spec
+        seed blocks
+RPL002  no wall-clock reads (``time.time``, ``datetime.now``,
+        ``perf_counter``, ...) inside the pure fold/hash layers
+        (campaign planner/report/store record paths, ``analysis/``)
+RPL003  no broad or bare ``except`` anywhere in ``src/`` (the PR 1 bug
+        class: a bare ``except Exception`` around the scheduler draw
+        silently swallowed drift)
+RPL004  no file writes in ``repro.campaign`` that bypass the flushed +
+        fsync'd atomic-append helpers in ``campaign/store.py``
+RPL005  registry contracts hold at import time: every registered protocol
+        defines ``state_order()``; every registered predicate is
+        count-expressible via ``as_state_count()`` or listed in the
+        explicit non-compilable allowlist (the machine-readable
+        compile-gap inventory)
+RPL006  no unordered ``set``/dict-view iteration feeding hashing, cell
+        planning, or report folds without a ``sorted()`` boundary
+======  =====================================================================
+
+Suppression requires a justification::
+
+    except Exception as error:  # repro-lint: disable=RPL003 reason=isolate broken dists
+
+A pragma without a non-empty ``reason=`` does not suppress anything and is
+itself reported (RPL000).  The repo self-hosts: ``repro lint`` over
+``src/`` exits 0, and CI enforces that in both the no-numpy and numpy
+matrices.  See ``docs/invariants.md`` for the catalogue with rationale.
+"""
+
+from repro.lint.framework import (
+    Finding,
+    LintContext,
+    LintResult,
+    ProjectRule,
+    Rule,
+    all_rules,
+    lint_files,
+    lint_source,
+)
+from repro.lint.pragmas import Pragma, parse_pragmas
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "LintResult",
+    "ProjectRule",
+    "Rule",
+    "all_rules",
+    "lint_files",
+    "lint_source",
+    "Pragma",
+    "parse_pragmas",
+]

@@ -1,0 +1,322 @@
+"""The rule framework: findings, alias-aware imports, visitors, the driver.
+
+Design notes
+------------
+
+* **Per-file rules** subclass :class:`Rule` and implement
+  :meth:`Rule.check` over a :class:`LintContext` (parsed tree, source
+  lines, parent links, resolved imports).  A rule may scope itself to
+  module prefixes (``scope=("repro.campaign.",)``) — the determinism
+  contracts are layer contracts, and the scope *is* part of the contract.
+* **Cross-file rules** subclass :class:`ProjectRule`: they run once per
+  lint invocation and may import the live registries to verify
+  import-time contracts (see :mod:`repro.lint.rules_contracts`).  They
+  only fire when the file set actually contains the module they audit, so
+  linting a fixture directory never imports the repo's registries.
+* **Alias-aware import tracking** (:class:`ImportMap`) resolves dotted
+  call targets through ``import numpy as np`` / ``from time import
+  perf_counter as pc`` style aliasing, so rules match the *qualified*
+  name (``numpy.random.default_rng``) rather than surface spelling.
+* Findings carry ``(code, path, line, column, message)``; pragmas
+  (:mod:`repro.lint.pragmas`) filter them after every rule ran, and
+  malformed pragmas surface as unsuppressible ``RPL000`` findings.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.lint.pragmas import MALFORMED_PRAGMA_CODE, PragmaIndex, parse_pragmas
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    code: str
+    path: str
+    line: int
+    column: int
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.column, self.code)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}: {self.code} {self.message}"
+
+
+class ImportMap:
+    """Alias-aware resolution of names to qualified module paths.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from time import
+    perf_counter as pc`` maps ``pc -> time.perf_counter``; ``from datetime
+    import datetime`` maps ``datetime -> datetime.datetime``.  Attribute
+    chains then resolve by prefix substitution: with the first mapping,
+    ``np.random.default_rng`` resolves to ``numpy.random.default_rng``.
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        self._aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self._aliases[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self._aliases[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}")
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """The qualified dotted name of a Name/Attribute chain, if imported."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        qualified = self._aliases.get(node.id)
+        if qualified is None:
+            return None
+        parts.append(qualified)
+        return ".".join(reversed(parts))
+
+
+@dataclass
+class LintContext:
+    """Everything a per-file rule sees about one file."""
+
+    path: str
+    module: str
+    source: str
+    tree: ast.Module
+    imports: ImportMap
+    parents: Dict[ast.AST, ast.AST] = field(default_factory=dict)
+
+    @classmethod
+    def from_source(cls, source: str, path: str = "<string>",
+                    module: str = "") -> "LintContext":
+        tree = ast.parse(source, filename=path)
+        context = cls(path=path, module=module or module_name(path),
+                      source=source, tree=tree, imports=ImportMap(tree))
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                context.parents[child] = parent
+        return context
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """The node's ancestors, innermost first."""
+        current = self.parents.get(node)
+        while current is not None:
+            yield current
+            current = self.parents.get(current)
+
+    def finding(self, code: str, node: ast.AST, message: str) -> Finding:
+        return Finding(code=code, path=self.path,
+                       line=getattr(node, "lineno", 1),
+                       column=getattr(node, "col_offset", 0) + 1,
+                       message=message)
+
+
+def module_name(path: str) -> str:
+    """The dotted module a file path denotes, anchored at the ``repro`` package.
+
+    Files outside the package (test fixtures, scratch dirs) fall back to
+    their stem, so layer-scoped rules simply do not apply to them unless
+    the caller passes an explicit ``module=``.
+    """
+    parts = os.path.normpath(os.path.abspath(path)).split(os.sep)
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+        parts[-1] = os.path.splitext(parts[-1])[0]
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts)
+    return os.path.splitext(os.path.basename(path))[0]
+
+
+class Rule:
+    """Base class of the per-file determinism-contract rules.
+
+    Subclasses set ``code``/``name``/``summary`` and implement
+    :meth:`check`.  ``scope`` restricts a rule to dotted-module prefixes;
+    ``None`` means the rule applies to every linted file.
+    """
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+    scope: Optional[Tuple[str, ...]] = None
+
+    def applies_to(self, module: str) -> bool:
+        if self.scope is None:
+            return True
+        return any(module == prefix.rstrip(".") or module.startswith(prefix)
+                   for prefix in self.scope)
+
+    def check(self, context: LintContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+class ProjectRule(Rule):
+    """A cross-file rule checked once per lint run (import-time contracts).
+
+    ``audited_module`` names the module whose contract the rule verifies;
+    the driver only invokes :meth:`check_project` when a file of that
+    module is part of the linted set, so fixture runs never trigger
+    registry imports.
+    """
+
+    audited_module: str = ""
+
+    def check(self, context: LintContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, contexts: Sequence[LintContext]) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every shipped rule, in code order."""
+    from repro.lint.rules_contracts import RegistryContractRule
+    from repro.lint.rules_ordering import UnorderedIterationRule
+    from repro.lint.rules_purity import WallClockRule
+    from repro.lint.rules_rng import UnseededRandomRule
+    from repro.lint.rules_robustness import BroadExceptRule, StoreBypassRule
+
+    return [
+        UnseededRandomRule(),
+        WallClockRule(),
+        BroadExceptRule(),
+        StoreBypassRule(),
+        RegistryContractRule(),
+        UnorderedIterationRule(),
+    ]
+
+
+@dataclass
+class LintResult:
+    """The outcome of one lint invocation."""
+
+    findings: List[Finding]
+    files_checked: int
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for finding in self.findings:
+            totals[finding.code] = totals.get(finding.code, 0) + 1
+        return dict(sorted(totals.items()))
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def _selected(rules: Iterable[Rule], select: Optional[Sequence[str]],
+              ignore: Optional[Sequence[str]]) -> List[Rule]:
+    chosen = list(rules)
+    if select:
+        wanted = set(select)
+        chosen = [rule for rule in chosen if rule.code in wanted]
+    if ignore:
+        dropped = set(ignore)
+        chosen = [rule for rule in chosen if rule.code not in dropped]
+    return chosen
+
+
+def _apply_pragmas(findings: Iterable[Finding],
+                   pragmas: PragmaIndex) -> Iterator[Finding]:
+    for finding in findings:
+        if not pragmas.suppresses(finding.line, finding.code):
+            yield finding
+
+
+def lint_source(source: str, *, path: str = "<string>", module: str = "",
+                rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
+    """Lint one in-memory file (the fixture-test entry point).
+
+    Runs per-file rules plus pragma filtering; project rules need
+    :func:`lint_files` with the audited module on disk.
+    """
+    context = LintContext.from_source(source, path=path, module=module)
+    active = [rule for rule in (rules if rules is not None else all_rules())
+              if not isinstance(rule, ProjectRule)
+              and rule.applies_to(context.module)]
+    findings: List[Finding] = []
+    for rule in active:
+        findings.extend(rule.check(context))
+    pragmas = parse_pragmas(source)
+    kept = list(_apply_pragmas(findings, pragmas))
+    kept.extend(Finding(code=MALFORMED_PRAGMA_CODE, path=path, line=line,
+                        column=1, message=message)
+                for line, message in pragmas.malformed)
+    return sorted(kept, key=Finding.sort_key)
+
+
+def lint_files(paths: Sequence[str], *, select: Optional[Sequence[str]] = None,
+               ignore: Optional[Sequence[str]] = None,
+               rules: Optional[Sequence[Rule]] = None) -> LintResult:
+    """Lint a set of files/directories and return every surviving finding.
+
+    ``paths`` entries may be files or directories (recursed for ``.py``).
+    Syntax errors are findings, not crashes: a file the linter cannot
+    parse cannot be certified either.
+    """
+    files = sorted(set(_collect(paths)))
+    active = _selected(rules if rules is not None else all_rules(),
+                       select, ignore)
+    file_rules = [rule for rule in active if not isinstance(rule, ProjectRule)]
+    project_rules = [rule for rule in active if isinstance(rule, ProjectRule)]
+
+    findings: List[Finding] = []
+    contexts: List[LintContext] = []
+    for file_path in files:
+        with open(file_path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        try:
+            context = LintContext.from_source(source, path=file_path)
+        except SyntaxError as error:
+            findings.append(Finding(
+                code="RPL999", path=file_path, line=error.lineno or 1,
+                column=(error.offset or 0) + 1,
+                message=f"file does not parse: {error.msg}"))
+            continue
+        contexts.append(context)
+        pragmas = parse_pragmas(source)
+        raw: List[Finding] = []
+        for rule in file_rules:
+            if rule.applies_to(context.module):
+                raw.extend(rule.check(context))
+        findings.extend(_apply_pragmas(raw, pragmas))
+        findings.extend(Finding(code=MALFORMED_PRAGMA_CODE, path=file_path,
+                                line=line, column=1, message=message)
+                        for line, message in pragmas.malformed)
+
+    audited = {context.module for context in contexts}
+    for rule in project_rules:
+        if rule.audited_module in audited:
+            findings.extend(rule.check_project(contexts))
+
+    return LintResult(findings=sorted(findings, key=Finding.sort_key),
+                      files_checked=len(contexts))
+
+
+def _collect(paths: Sequence[str]) -> Iterator[str]:
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs.sort()
+                for name in sorted(names):
+                    if name.endswith(".py"):
+                        yield os.path.join(root, name)
+        elif path.endswith(".py"):
+            yield path
+        else:
+            raise ValueError(f"not a python file or directory: {path!r}")

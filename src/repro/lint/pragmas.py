@@ -1,0 +1,121 @@
+"""Inline suppression pragmas: ``# repro-lint: disable=RPLxxx reason=...``.
+
+A pragma suppresses findings of the listed rule codes on its own physical
+line, or — when the comment stands alone on a line — on the next
+non-blank, non-comment line (so long statements can carry the pragma
+directly above them).
+
+The ``reason=`` clause is **mandatory and must be non-empty**: a
+suppression without a recorded justification is worse than the finding it
+hides, because the next reader cannot tell a vetted exception from a
+silenced bug.  Malformed pragmas (missing or empty reason, no parseable
+rule code) suppress nothing and are themselves reported under the
+reserved code ``RPL000``, which no pragma can silence.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+#: The reserved code for malformed pragmas; not suppressible.
+MALFORMED_PRAGMA_CODE = "RPL000"
+
+_PRAGMA_RE = re.compile(r"#\s*repro-lint:\s*(?P<body>.*)$")
+_DISABLE_RE = re.compile(
+    r"^disable=(?P<codes>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)"
+    r"(?:\s+reason=(?P<reason>.*))?$")
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed suppression comment."""
+
+    line: int
+    codes: Tuple[str, ...]
+    reason: str
+    #: Line the pragma applies to (== ``line`` for trailing comments; the
+    #: next statement line for standalone comment lines).
+    applies_to: int
+
+    @property
+    def valid(self) -> bool:
+        return bool(self.codes) and bool(self.reason.strip())
+
+
+@dataclass
+class PragmaIndex:
+    """Pragmas of one file, indexed by the line they suppress."""
+
+    by_line: Dict[int, List[Pragma]] = field(default_factory=dict)
+    malformed: List[Tuple[int, str]] = field(default_factory=list)
+
+    def suppresses(self, line: int, code: str) -> bool:
+        """Whether a *valid* pragma on/above ``line`` disables ``code``."""
+        if code == MALFORMED_PRAGMA_CODE:
+            return False
+        return any(pragma.valid and code in pragma.codes
+                   for pragma in self.by_line.get(line, ()))
+
+
+def _next_code_line(lines: List[str], index: int) -> int:
+    """1-based line of the next non-blank, non-comment line after ``index``."""
+    for offset in range(index + 1, len(lines)):
+        stripped = lines[offset].strip()
+        if stripped and not stripped.startswith("#"):
+            return offset + 1
+    return index + 1  # trailing pragma at EOF: applies to itself
+
+
+def _comment_tokens(source: str) -> List[Tuple[int, int, str]]:
+    """``(line, column, text)`` of every comment token in the source.
+
+    Tokenising (rather than regex-scanning raw lines) keeps pragma-shaped
+    text inside string literals and docstrings from being treated as a
+    live suppression — only an actual ``#`` comment counts.
+    """
+    comments: List[Tuple[int, int, str]] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.start[1], token.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Untokenisable sources get no pragmas; the driver reports the
+        # syntax error separately, so nothing is silently certified.
+        pass
+    return comments
+
+
+def parse_pragmas(source: str) -> PragmaIndex:
+    """Scan a file's comments for ``repro-lint`` pragmas."""
+    index = PragmaIndex()
+    lines = source.splitlines()
+    for line, column, text in _comment_tokens(source):
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        body = match.group("body").strip()
+        disable = _DISABLE_RE.match(body)
+        if disable is None:
+            index.malformed.append(
+                (line, f"unparseable repro-lint pragma {body!r}; expected "
+                       "'disable=RPLxxx[,RPLyyy] reason=<justification>'"))
+            continue
+        codes = tuple(code.strip()
+                      for code in disable.group("codes").split(","))
+        reason = (disable.group("reason") or "").strip()
+        standalone = not lines[line - 1][:column].strip()
+        applies_to = _next_code_line(lines, line - 1) if standalone else line
+        pragma = Pragma(line=line, codes=codes, reason=reason,
+                        applies_to=applies_to)
+        if not pragma.valid:
+            index.malformed.append(
+                (line, "repro-lint pragma is missing a non-empty reason=; "
+                       "suppressions must record their justification"))
+            continue
+        index.by_line.setdefault(applies_to, []).append(pragma)
+    return index

@@ -1,0 +1,65 @@
+"""Finding reporters: human text and machine-readable JSON.
+
+The JSON document is a stable interface (CI annotations, editor
+integrations) and is versioned::
+
+    {
+      "version": 1,
+      "files_checked": 42,
+      "findings": [
+        {"rule": "RPL001", "path": "src/repro/x.py", "line": 3,
+         "column": 5, "message": "..."}
+      ],
+      "summary": {"RPL001": 1}
+    }
+
+Findings are emitted in ``(path, line, column, code)`` order in both
+formats, so two runs over the same tree produce byte-identical output —
+the lint pass holds itself to the determinism bar it enforces.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.lint.framework import LintResult
+
+JSON_REPORT_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    """One ``path:line:col: CODE message`` line per finding plus a summary."""
+    lines = [finding.render() for finding in result.findings]
+    if result.findings:
+        counts = ", ".join(f"{code}: {count}"
+                           for code, count in result.counts.items())
+        lines.append("")
+        lines.append(f"{len(result.findings)} finding"
+                     f"{'s' if len(result.findings) != 1 else ''} "
+                     f"({counts}) in {result.files_checked} files")
+    else:
+        lines.append(f"repro lint: {result.files_checked} files clean")
+    return "\n".join(lines) + "\n"
+
+
+def as_json_document(result: LintResult) -> Dict[str, Any]:
+    return {
+        "version": JSON_REPORT_VERSION,
+        "files_checked": result.files_checked,
+        "findings": [
+            {
+                "rule": finding.code,
+                "path": finding.path,
+                "line": finding.line,
+                "column": finding.column,
+                "message": finding.message,
+            }
+            for finding in result.findings
+        ],
+        "summary": result.counts,
+    }
+
+
+def render_json(result: LintResult) -> str:
+    return json.dumps(as_json_document(result), indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,64 @@
+"""RPL002 — the fold/hash layers must not read the wall clock.
+
+Campaign cell ids are content-addressed hashes, store records are replayed
+byte-identically on resume, and reports are **pure functions of (plan,
+records)** — that is the documented acceptance pin of the campaign
+subsystem ("no timestamps, hostnames or execution order leak in").  One
+``time.time()`` in a record path or report fold would make interrupted
+and uninterrupted campaigns render different bytes and silently void the
+resume contract.
+
+The rule therefore bans every wall-clock/monotonic-clock read inside the
+pure layers: the campaign planner, report, and store record paths, and
+everything under ``repro.analysis``.  Benchmarks and the engine are out
+of scope — timing *measurement* code is supposed to read clocks.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.framework import Finding, LintContext, Rule
+
+#: Qualified call targets that read a clock.  ``datetime.datetime.now``
+#: covers ``from datetime import datetime; datetime.now()`` through the
+#: alias map's prefix substitution.
+WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.clock_gettime", "time.clock_gettime_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: The pure fold/hash layers (dotted-module prefixes).
+PURE_LAYERS = (
+    "repro.campaign.planner",
+    "repro.campaign.report",
+    "repro.campaign.store",
+    "repro.analysis.",
+)
+
+
+class WallClockRule(Rule):
+    code = "RPL002"
+    name = "wall-clock-in-pure-layer"
+    summary = ("no wall-clock reads inside the pure fold/hash layers "
+               "(campaign planner/report/store, analysis)")
+    scope = PURE_LAYERS
+
+    def check(self, context: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = context.imports.resolve(node.func)
+            if qualified in WALL_CLOCK_CALLS:
+                yield context.finding(
+                    self.code, node,
+                    f"{qualified}() read inside a pure fold/hash layer; "
+                    "cell ids, store records and reports must be functions "
+                    "of (plan, records) only — stamp times outside, or "
+                    "thread them in as explicit data")

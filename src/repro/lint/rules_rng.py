@@ -1,0 +1,102 @@
+"""RPL001 — every random draw must be seeded from a spec seed block.
+
+The reproducibility contract of the whole repo is that *a spec plus a
+seed fully determines a run* (``run_spec`` is a pure function, campaign
+cells are content-addressed over their seed blocks, process-pool workers
+replay byte-identically).  Two constructs break that silently:
+
+* **unseeded RNG construction** — ``random.Random()`` /
+  ``numpy.random.default_rng()`` / ``numpy.random.SeedSequence()`` with
+  no argument (or a literal ``None``) draw fresh OS entropy;
+* **module-level RNG calls** — ``random.random()``, ``random.shuffle``,
+  ``numpy.random.rand`` and friends share hidden global state, so any
+  import-order or thread-interleaving change reorders draws.
+
+Constructing *seeded* generators (``random.Random(seed)``,
+``numpy.random.SeedSequence(seed)``, ``default_rng(seed)``) and calling
+methods on generator *instances* is the sanctioned pattern and is not
+flagged.  APIs that deliberately accept ``seed=None`` for OS entropy
+(documented in :mod:`repro.scheduling.array_draws`) stay expressible:
+the rule is static and only flags literally-unseeded call sites.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.framework import Finding, LintContext, Rule
+
+#: ``random``-module attributes that construct independent generators or
+#: inspect state rather than draw from the hidden global instance.
+_RANDOM_NON_DRAWING = frozenset({
+    "Random", "SystemRandom", "getstate", "setstate",
+})
+
+#: ``numpy.random`` attributes that construct explicit generators /
+#: bit-generators / seed material (the modern, seedable API surface).
+_NP_RANDOM_NON_DRAWING = frozenset({
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "MT19937", "Philox", "SFC64",
+})
+
+#: Constructors whose *zero-argument / literal-None* form draws OS entropy.
+_SEEDED_CONSTRUCTORS = frozenset({
+    "random.Random",
+    "random.SystemRandom",
+    "numpy.random.default_rng",
+    "numpy.random.SeedSequence",
+})
+
+
+def _first_argument_is_unseeded(call: ast.Call) -> bool:
+    if call.keywords:
+        for keyword in call.keywords:
+            if keyword.arg in (None, "seed"):
+                return _is_none_literal(keyword.value)
+        return True  # keywords given, none of them a seed
+    if not call.args:
+        return True
+    return _is_none_literal(call.args[0])
+
+
+def _is_none_literal(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+class UnseededRandomRule(Rule):
+    code = "RPL001"
+    name = "unseeded-rng"
+    summary = ("RNG must be constructed from an explicit seed; module-level "
+               "random draws are forbidden")
+    scope = None  # the seed contract covers all of src/
+
+    def check(self, context: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = context.imports.resolve(node.func)
+            if qualified is None:
+                continue
+            if qualified in _SEEDED_CONSTRUCTORS:
+                if _first_argument_is_unseeded(node):
+                    yield context.finding(
+                        self.code, node,
+                        f"{qualified}() without an explicit seed draws OS "
+                        "entropy; thread the seed from the spec seed block")
+                continue
+            parts = qualified.split(".")
+            if parts[0] == "random" and len(parts) == 2 \
+                    and parts[1] not in _RANDOM_NON_DRAWING:
+                yield context.finding(
+                    self.code, node,
+                    f"module-level {qualified}() draws from the hidden global "
+                    "RNG; construct random.Random(seed) from the spec seed "
+                    "block instead")
+            elif parts[:2] == ["numpy", "random"] and len(parts) == 3 \
+                    and parts[2] not in _NP_RANDOM_NON_DRAWING:
+                yield context.finding(
+                    self.code, node,
+                    f"legacy global-state {qualified}() is unseedable per-run; "
+                    "use numpy.random.Generator streams spawned from the spec "
+                    "SeedSequence")

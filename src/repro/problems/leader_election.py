@@ -20,7 +20,7 @@ class LeaderElectionProblem(Problem):
 
     name = "leader-election"
 
-    def __init__(self, n: int):
+    def __init__(self, n: int) -> None:
         if n < 1:
             raise ValueError("population must contain at least one agent")
         self.n = n

@@ -14,7 +14,7 @@ class MajorityProblem(Problem):
 
     name = "exact-majority"
 
-    def __init__(self, count_a: int, count_b: int, protocol: Optional[ExactMajorityProtocol] = None):
+    def __init__(self, count_a: int, count_b: int, protocol: Optional[ExactMajorityProtocol] = None) -> None:
         if count_a < 0 or count_b < 0:
             raise ValueError("opinion counts must be non-negative")
         if count_a == count_b:

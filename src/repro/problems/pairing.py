@@ -26,7 +26,7 @@ class PairingProblem(Problem):
 
     name = "pairing"
 
-    def __init__(self, consumers: int, producers: int):
+    def __init__(self, consumers: int, producers: int) -> None:
         if consumers < 0 or producers < 0:
             raise ValueError("population counts must be non-negative")
         self.consumers = consumers

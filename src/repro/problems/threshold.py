@@ -20,7 +20,7 @@ class ThresholdProblem(Problem):
         zeros: int,
         threshold: int = 3,
         protocol: Optional[ThresholdProtocol] = None,
-    ):
+    ) -> None:
         if ones < 0 or zeros < 0:
             raise ValueError("input counts must be non-negative")
         self.ones = ones

@@ -10,6 +10,8 @@ These protocols serve three purposes in the reproduction:
    which simulation overhead is measured.
 """
 
+from typing import TYPE_CHECKING
+
 from repro.protocols.catalog.pairing import PairingProtocol
 from repro.protocols.catalog.leader_election import LeaderElectionProtocol
 from repro.protocols.catalog.majority import (
@@ -20,6 +22,9 @@ from repro.protocols.catalog.counting import ThresholdProtocol, ModuloCountingPr
 from repro.protocols.catalog.predicates import OrProtocol, AndProtocol, ParityProtocol
 from repro.protocols.catalog.averaging import AveragingProtocol
 from repro.protocols.catalog.epidemic import EpidemicProtocol
+
+if TYPE_CHECKING:
+    from repro.protocols.protocol import PopulationProtocol
 
 #: Registry of catalog protocols by name (factories with default parameters).
 #: Process-based fan-out resolves these constructors by key through
@@ -40,7 +45,7 @@ CATALOG = {
 }
 
 
-def get_protocol(name, **kwargs):
+def get_protocol(name, **kwargs) -> "PopulationProtocol":
     """Instantiate a catalog protocol by name.
 
     Parameters are forwarded to the protocol constructor, e.g.

@@ -35,7 +35,7 @@ class AveragingProtocol(PopulationProtocol):
         low = total // 2
         return high, low
 
-    def output(self, state: State):
+    def output(self, state: State) -> State:
         return state
 
     def state_order(self) -> Tuple[State, ...]:

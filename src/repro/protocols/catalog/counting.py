@@ -60,7 +60,7 @@ class ThresholdProtocol(PopulationProtocol):
         new_reactor = (total, flag)
         return new_starter, new_reactor
 
-    def output(self, state: State):
+    def output(self, state: State) -> bool:
         """``True`` when the agent believes the threshold has been reached."""
         weight, flag = state
         return bool(flag or weight >= self.threshold)
@@ -134,7 +134,7 @@ class ModuloCountingProtocol(PopulationProtocol):
         # residues converge to it and never change again (stability under GF).
         return starter, reactor
 
-    def output(self, state: State):
+    def output(self, state: State) -> bool:
         """``True`` when the agent's current residue equals the target."""
         _, residue = state
         return residue == self.target

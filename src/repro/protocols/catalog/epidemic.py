@@ -35,7 +35,7 @@ class EpidemicProtocol(PopulationProtocol):
             return INFORMED, INFORMED
         return starter, reactor
 
-    def output(self, state: State):
+    def output(self, state: State) -> bool:
         return state == INFORMED
 
     def state_order(self) -> Tuple[State, ...]:

@@ -34,7 +34,7 @@ class LeaderElectionProtocol(PopulationProtocol):
             return FOLLOWER, LEADER
         return starter, reactor
 
-    def output(self, state: State):
+    def output(self, state: State) -> bool:
         """Output ``True`` for the leader, ``False`` for followers."""
         return state == LEADER
 

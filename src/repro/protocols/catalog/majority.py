@@ -20,7 +20,7 @@ tests for the simulators.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.protocols.protocol import PopulationProtocol
 from repro.protocols.state import Configuration, State
@@ -64,7 +64,7 @@ class ApproximateMajorityProtocol(PopulationProtocol):
             return B, B
         return starter, reactor
 
-    def output(self, state: State):
+    def output(self, state: State) -> Optional[State]:
         """Output the opinion letter, or ``None`` for undecided agents."""
         if state in (A, B):
             return state
@@ -86,7 +86,7 @@ class ApproximateMajorityProtocol(PopulationProtocol):
         return states == {A} or states == {B}
 
     @staticmethod
-    def consensus_value(configuration: Configuration):
+    def consensus_value(configuration: Configuration) -> Optional[State]:
         """The consensus opinion, or ``None`` if the population has not converged."""
         states = set(configuration.states)
         if states == {A}:
@@ -135,7 +135,7 @@ class ExactMajorityProtocol(PopulationProtocol):
             return WEAK_B, B
         return starter, reactor
 
-    def output(self, state: State):
+    def output(self, state: State) -> State:
         """Output the opinion (upper-case letter) currently held by the agent."""
         if state in (A, WEAK_A):
             return A
@@ -151,7 +151,7 @@ class ExactMajorityProtocol(PopulationProtocol):
         return Configuration([A] * count_a + [B] * count_b)
 
     @staticmethod
-    def majority_opinion(count_a: int, count_b: int):
+    def majority_opinion(count_a: int, count_b: int) -> Optional[State]:
         """The expected stable output: the initial strict majority, or ``None`` on a tie."""
         if count_a > count_b:
             return A

@@ -56,7 +56,7 @@ class PairingProtocol(PopulationProtocol):
             return BOTTOM, CRITICAL
         return starter, reactor
 
-    def output(self, state: State):
+    def output(self, state: State) -> bool:
         """Output ``True`` exactly for the critical state."""
         return state == CRITICAL
 

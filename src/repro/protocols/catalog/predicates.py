@@ -26,7 +26,7 @@ class OrProtocol(PopulationProtocol):
             return 1, 1
         return starter, reactor
 
-    def output(self, state: State):
+    def output(self, state: State) -> bool:
         return bool(state)
 
     def state_order(self) -> Tuple[State, ...]:
@@ -53,7 +53,7 @@ class AndProtocol(PopulationProtocol):
             return 0, 0
         return starter, reactor
 
-    def output(self, state: State):
+    def output(self, state: State) -> bool:
         return bool(state)
 
     def state_order(self) -> Tuple[State, ...]:

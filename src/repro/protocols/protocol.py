@@ -70,7 +70,7 @@ class PopulationProtocol:
         states: Optional[Iterable[State]] = None,
         initial_states: Optional[Iterable[State]] = None,
         name: Optional[str] = None,
-    ):
+    ) -> None:
         self._states: Optional[FrozenSet[State]] = (
             frozenset(states) if states is not None else None
         )
@@ -212,7 +212,7 @@ class RuleBasedProtocol(PopulationProtocol):
         initial_states: Optional[Iterable[State]] = None,
         name: str = "rule-based",
         output_map: Optional[Mapping[State, Any]] = None,
-    ):
+    ) -> None:
         inferred_states = set()
         for (s, r), (s2, r2) in rules.items():
             inferred_states.update((s, r, s2, r2))
@@ -256,7 +256,7 @@ class OneWayProtocol:
         states: Optional[Iterable[State]] = None,
         initial_states: Optional[Iterable[State]] = None,
         name: Optional[str] = None,
-    ):
+    ) -> None:
         self._states: Optional[FrozenSet[State]] = (
             frozenset(states) if states is not None else None
         )
@@ -334,7 +334,7 @@ class RuleBasedOneWayProtocol(OneWayProtocol):
         states: Optional[Iterable[State]] = None,
         initial_states: Optional[Iterable[State]] = None,
         name: str = "rule-based-one-way",
-    ):
+    ) -> None:
         inferred = set()
         for (s, r), r2 in f_rules.items():
             inferred.update((s, r, r2))

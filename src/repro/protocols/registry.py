@@ -85,20 +85,20 @@ def register_protocol(key: str, factory: Callable[..., Any]) -> None:
 # ---------------------------------------------------------------------------
 
 
-def _build_none(protocol, population, omission_bound, model_name):
+def _build_none(protocol, population, omission_bound, model_name) -> TrivialTwoWaySimulator:
     return TrivialTwoWaySimulator(protocol)
 
 
-def _build_skno(protocol, population, omission_bound, model_name):
+def _build_skno(protocol, population, omission_bound, model_name) -> SKnOSimulator:
     variant = "I4" if model_name.upper() == "I4" else "I3"
     return SKnOSimulator(protocol, omission_bound=omission_bound, variant=variant)
 
 
-def _build_sid(protocol, population, omission_bound, model_name):
+def _build_sid(protocol, population, omission_bound, model_name) -> SIDSimulator:
     return SIDSimulator(protocol)
 
 
-def _build_known_n(protocol, population, omission_bound, model_name):
+def _build_known_n(protocol, population, omission_bound, model_name) -> KnownSizeSimulator:
     return KnownSizeSimulator(protocol, population_size=population)
 
 
@@ -118,7 +118,7 @@ def register_simulator(key: str, factory: Callable[..., Any]) -> None:
 
 
 def build_simulator(kind: str, protocol, population: int, omission_bound: int,
-                    model_name: str):
+                    model_name: str) -> Any:
     """Instantiate the simulator registered under ``kind``."""
     try:
         factory = SIMULATORS[kind]
@@ -167,7 +167,7 @@ def default_initial_configuration(protocol, population: int,
 # ---------------------------------------------------------------------------
 
 
-def stable_output_predicate(simulator, protocol, initial_projected: Configuration):
+def stable_output_predicate(simulator, protocol, initial_projected: Configuration) -> "AgentCountPredicate | Callable[[Configuration], bool]":
     """Predicate: every agent's simulated output equals the final stable output.
 
     The expected stable output is derived from the initial configuration
@@ -187,7 +187,7 @@ def stable_output_predicate(simulator, protocol, initial_projected: Configuratio
     outputs = [protocol.output(state) for state in initial_projected]
     project = simulator.project
 
-    def all_output(expected):
+    def all_output(expected) -> AgentCountPredicate:
         output = protocol.output
         return AgentCountPredicate(lambda s: output(project(s)) == expected)
 
@@ -243,11 +243,11 @@ def register_predicate(key: str, factory: Callable[..., Any]) -> None:
 # ---------------------------------------------------------------------------
 
 
-def _random_scheduler(n, seed=None):
+def _random_scheduler(n, seed=None) -> RandomScheduler:
     return RandomScheduler(n, seed=seed)
 
 
-def _round_robin_scheduler(n, seed=None):
+def _round_robin_scheduler(n, seed=None) -> RoundRobinScheduler:
     return RoundRobinScheduler(n)
 
 
@@ -271,19 +271,19 @@ def register_scheduler(key: str, factory: Callable[..., Any]) -> None:
 # ---------------------------------------------------------------------------
 
 
-def _bounded_adversary(model, omissions, seed=None, **kwargs):
+def _bounded_adversary(model, omissions, seed=None, **kwargs) -> BoundedOmissionAdversary:
     return BoundedOmissionAdversary(model, max_omissions=omissions, seed=seed, **kwargs)
 
 
-def _no1_adversary(model, omissions, seed=None, **kwargs):
+def _no1_adversary(model, omissions, seed=None, **kwargs) -> NO1Adversary:
     return NO1Adversary(model, seed=seed, **kwargs)
 
 
-def _uo_adversary(model, omissions, seed=None, **kwargs):
+def _uo_adversary(model, omissions, seed=None, **kwargs) -> UOAdversary:
     return UOAdversary(model, seed=seed, **kwargs)
 
 
-def _no_adversary(model, omissions, seed=None, **kwargs):
+def _no_adversary(model, omissions, seed=None, **kwargs) -> NOAdversary:
     return NOAdversary(model, seed=seed, **kwargs)
 
 
@@ -363,7 +363,7 @@ class ExperimentSpec:
     chunk_size: Optional[int] = None
     backend: str = "python"
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         object.__setattr__(self, "protocol_kwargs", _as_items(self.protocol_kwargs))
         object.__setattr__(self, "scheduler_kwargs", _as_items(self.scheduler_kwargs))
         object.__setattr__(self, "adversary_kwargs", _as_items(self.adversary_kwargs))
@@ -508,7 +508,8 @@ def load_entry_points(
             target = entry_point.load()
             if callable(target):
                 target()
-        except Exception as error:  # noqa: BLE001 - isolate broken dists
+        # repro-lint: disable=RPL003 reason=entry-point isolation must survive arbitrarily broken third-party dists; failures are recorded in ENTRY_POINT_ERRORS and surfaced by `repro list`
+        except Exception as error:
             if strict:
                 raise
             ENTRY_POINT_ERRORS[entry_point.name] = f"{type(error).__name__}: {error}"

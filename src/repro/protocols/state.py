@@ -53,7 +53,7 @@ class Configuration:
 
     __slots__ = ("_states", "_hash", "_multiset")
 
-    def __init__(self, states: Iterable[State]):
+    def __init__(self, states: Iterable[State]) -> None:
         self._states: Tuple[State, ...] = tuple(states)
         self._hash = None
         self._multiset = None
@@ -214,7 +214,7 @@ class MutableConfiguration:
 
     __slots__ = ("_states",)
 
-    def __init__(self, states: Iterable[State]):
+    def __init__(self, states: Iterable[State]) -> None:
         self._states: list = list(states)
 
     @classmethod
@@ -330,7 +330,7 @@ class StateInterner:
 
     __slots__ = ("_states", "_codes")
 
-    def __init__(self, states: Iterable[State]):
+    def __init__(self, states: Iterable[State]) -> None:
         ordered: List[State] = []
         codes: Dict[State, int] = {}
         for state in states:
@@ -412,7 +412,7 @@ class ArrayConfiguration:
 
     __slots__ = ("_codes", "_interner")
 
-    def __init__(self, codes: Sequence[int], interner: StateInterner):
+    def __init__(self, codes: Sequence[int], interner: StateInterner) -> None:
         self._codes = codes
         self._interner = interner
 

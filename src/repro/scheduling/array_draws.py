@@ -45,7 +45,7 @@ from repro.scheduling.graph_scheduler import GraphScheduler
 from repro.scheduling.scheduler import RandomScheduler, RoundRobinScheduler, Scheduler
 
 
-def _spawn_generators(seed: Optional[int], count: int):
+def _spawn_generators(seed: Optional[int], count: int) -> "list[np.random.Generator]":
     """``count`` independent PCG64 generators, deterministic in ``seed``.
 
     Spawning children of one ``SeedSequence`` keeps the per-component
@@ -78,7 +78,7 @@ class UniformPairKernel(ArrayDrawKernel):
     component per chunk.
     """
 
-    def __init__(self, n: int, seed: Optional[int]):
+    def __init__(self, n: int, seed: Optional[int]) -> None:
         if n < 2:
             raise ValueError("a population needs at least two agents to interact")
         self.n = n
@@ -94,7 +94,7 @@ class UniformPairKernel(ArrayDrawKernel):
 class GraphPairKernel(ArrayDrawKernel):
     """Uniform edge, then uniform orientation (the ``GraphScheduler`` law)."""
 
-    def __init__(self, edges, seed: Optional[int]):
+    def __init__(self, edges, seed: Optional[int]) -> None:
         if not edges:
             raise ValueError("an interaction graph needs at least one edge")
         edge_array = np.asarray(edges, dtype=np.int64)
@@ -120,7 +120,7 @@ class RoundRobinKernel(ArrayDrawKernel):
     the backend equivalence suite.
     """
 
-    def __init__(self, pairs):
+    def __init__(self, pairs) -> None:
         pair_array = np.asarray(pairs, dtype=np.int64)
         self._starters = pair_array[:, 0].copy()
         self._seconds = pair_array[:, 1].copy()

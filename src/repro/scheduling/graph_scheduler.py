@@ -76,7 +76,7 @@ class GraphScheduler(Scheduler):
     identical to the per-step stream; the scheduler never exhausts.
     """
 
-    def __init__(self, graph: nx.Graph, seed: Optional[int] = None):
+    def __init__(self, graph: nx.Graph, seed: Optional[int] = None) -> None:
         n = graph.number_of_nodes()
         validate_interaction_graph(graph, n)
         self.graph = graph

@@ -85,7 +85,7 @@ class Run:
 
     __slots__ = ("_interactions",)
 
-    def __init__(self, interactions: Iterable[Interaction] = ()):
+    def __init__(self, interactions: Iterable[Interaction] = ()) -> None:
         self._interactions: Tuple[Interaction, ...] = tuple(interactions)
 
     # -- container protocol --------------------------------------------------------------
@@ -96,7 +96,7 @@ class Run:
     def __iter__(self) -> Iterator[Interaction]:
         return iter(self._interactions)
 
-    def __getitem__(self, index):
+    def __getitem__(self, index) -> "Run | Interaction":
         if isinstance(index, slice):
             return Run(self._interactions[index])
         return self._interactions[index]

@@ -47,7 +47,7 @@ vectorized draw is profitable (:class:`RandomScheduler`,
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.interaction.omissions import NO_OMISSION
 from repro.scheduling.runs import Interaction, Run
@@ -134,7 +134,7 @@ class Scheduler:
         """
         self.__dict__.pop("_array_kernel", None)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Interaction]:
         """Iterate the per-step stream until exhaustion (forever when infinite)."""
         step = 0
         while True:
@@ -159,7 +159,7 @@ class RandomScheduler(Scheduler):
     fast path of the engine's counts-only loop.
     """
 
-    def __init__(self, n: int, seed: Optional[int] = None):
+    def __init__(self, n: int, seed: Optional[int] = None) -> None:
         if n < 2:
             raise ValueError("a population needs at least two agents to interact")
         self.n = n
@@ -251,7 +251,7 @@ class ScriptedScheduler(Scheduler):
     semantics.
     """
 
-    def __init__(self, run: Run, continuation: Optional[Scheduler] = None):
+    def __init__(self, run: Run, continuation: Optional[Scheduler] = None) -> None:
         self.run = run
         self.continuation = continuation
 
@@ -284,7 +284,7 @@ class WeightedPairScheduler(Scheduler):
         n: int,
         weights: Dict[Tuple[int, int], float],
         seed: Optional[int] = None,
-    ):
+    ) -> None:
         if n < 2:
             raise ValueError("a population needs at least two agents to interact")
         self.n = n
@@ -339,7 +339,7 @@ class RoundRobinScheduler(Scheduler):
     fallback is already exact; it never exhausts.
     """
 
-    def __init__(self, n: int):
+    def __init__(self, n: int) -> None:
         if n < 2:
             raise ValueError("a population needs at least two agents to interact")
         self.n = n

@@ -30,6 +30,16 @@ LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 
 SKIP_PREFIXES = ("http://", "https://", "mailto:")
 
+# Documents that must be part of every full check: scanning a directory
+# picks them up implicitly, but if one is deleted or renamed the directory
+# scan would silently shrink, so their presence is asserted explicitly.
+REQUIRED_DOCS = (
+    "docs/architecture.md",
+    "docs/campaigns.md",
+    "docs/invariants.md",
+    "docs/performance.md",
+)
+
 
 def iter_markdown_files(arguments: list) -> list:
     files = []
@@ -70,6 +80,14 @@ def main(argv: list) -> int:
         print(f"no such file or directory: {', '.join(missing_inputs)}", file=sys.stderr)
         return 1
     files = iter_markdown_files(arguments)
+    covered = {path.as_posix() for path in files}
+    missing_docs = [doc for doc in REQUIRED_DOCS
+                    if any(Path(a).is_dir() and doc.startswith(f"{a.rstrip('/')}/")
+                           for a in arguments) and doc not in covered]
+    if missing_docs:
+        print(f"required document(s) missing: {', '.join(missing_docs)}",
+              file=sys.stderr)
+        return 1
     failures = 0
     for path in files:
         for line_number, target in check_file(path):

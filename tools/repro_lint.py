@@ -1,0 +1,24 @@
+#!/usr/bin/env python
+"""Standalone entry point for the determinism-contracts lint pass.
+
+Equivalent to ``repro lint`` but runnable from a checkout without
+installing the package::
+
+    python tools/repro_lint.py [paths ...] [--format json]
+    python tools/repro_lint.py --select RPL001,RPL004
+
+Exit codes: 0 clean, 1 findings, 2 usage error.  See
+``docs/invariants.md`` for the rule catalogue.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.lint.cli import main  # noqa: E402  (path bootstrap must run first)
+
+if __name__ == "__main__":
+    sys.exit(main())
