@@ -11,40 +11,63 @@ finished cell, and renders Figure-4-style reports.
 
 Pipeline (one module each)::
 
-    spec     CampaignSpec      declarative grid (pure dict / JSON file)
-    planner  CampaignPlan      grid expanded into content-addressed cells
-    store    ResultStore       append-only JSONL, atomic per-cell writes
-    runner   run_campaign      dispatch cells through repeat_experiment
-    report   render_report     fold the store into verdict grids + tables
+    spec      CampaignSpec          declarative grid (pure dict / JSON file)
+    planner   CampaignPlan          grid expanded into content-addressed cells
+    store     ResultStore           append-only JSONL, atomic per-cell writes
+              SharedResultStore     one cell pool shared by many campaigns
+              compact_store         canonical rewrite, atomic via rename
+    runner    run_campaign          serial cell walk through repeat_experiment
+    executor  run_campaign_parallel cell-level worker pool (``--cell-jobs``)
+    queue     CampaignQueue         prioritised multi-campaign scheduler
+    report    render_report         fold the store into verdict grids + tables
 
 Resumability is the design center: every planned cell has a stable
 content-addressed id (a hash of the resolved experiment spec plus its
 seed block), the store streams finished cells with atomic appends, and
 cells are deterministic functions of their spec — so ``repro campaign
 resume`` skips completed cells and an interrupted campaign finishes to a
-report byte-identical to an uninterrupted run.
+report byte-identical to an uninterrupted run.  Under parallel execution
+records append in completion order, so the pin is *fold-equivalence*:
+every fold (status, report) consumes the record set keyed by cell id and
+is identical across executors, pool widths and interrupt points.
 
 See ``docs/campaigns.md`` for the spec schema, the store format and the
 resume semantics, and ``examples/figure4_omission_sweep.json`` for a
 shipped campaign reproducing a Figure-4 omission-budget sweep slice.
 """
 
+from repro.campaign.executor import run_campaign_parallel
 from repro.campaign.planner import CampaignPlan, PlannedCell, plan_campaign
+from repro.campaign.queue import CampaignQueue, QueuedCampaign
 from repro.campaign.report import render_report
 from repro.campaign.runner import CampaignRunStatus, campaign_status, run_campaign
 from repro.campaign.spec import CampaignError, CampaignSpec
-from repro.campaign.store import ResultStore, StoreError
+from repro.campaign.store import (
+    CompactionStats,
+    ResultStore,
+    SharedResultStore,
+    StoreError,
+    compact_store,
+    store_kind,
+)
 
 __all__ = [
     "CampaignError",
     "CampaignPlan",
+    "CampaignQueue",
     "CampaignRunStatus",
     "CampaignSpec",
+    "CompactionStats",
     "PlannedCell",
+    "QueuedCampaign",
     "ResultStore",
+    "SharedResultStore",
     "StoreError",
     "campaign_status",
+    "compact_store",
     "plan_campaign",
     "render_report",
     "run_campaign",
+    "run_campaign_parallel",
+    "store_kind",
 ]

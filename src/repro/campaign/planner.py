@@ -153,6 +153,11 @@ class CampaignPlan:
     def by_id(self) -> Dict[str, PlannedCell]:
         return {cell.cell_id: cell for cell in self.cells}
 
+    def cell_ids(self) -> List[str]:
+        """Every cell's content-addressed id, sorted — the canonical form
+        shared-store campaign registrations persist."""
+        return sorted(cell.cell_id for cell in self.cells)
+
 
 def _cell_identity(fields: Dict[str, Any], campaign: CampaignSpec) -> str:
     """The content-addressed cell id: resolved spec + seed block, hashed."""

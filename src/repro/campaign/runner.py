@@ -18,6 +18,14 @@ use it to interrupt campaigns at a deterministic prefix — and a
 store resumable.  ``repro campaign resume`` is the same walk again: done
 cells are skipped by content-addressed id, pending ones run, and the
 finished store folds to a report byte-identical to an uninterrupted run.
+
+``cell_jobs > 1`` hands the same walk to the cell-level parallel
+executor (:mod:`repro.campaign.executor`): the *set* of cells executed
+is identical — the first ``max_cells`` pending cells in plan order —
+but they overlap across a worker pool and persist in completion order.
+Folds are record-set functions (see :mod:`repro.campaign.store`), so
+the serial walk remains the semantic reference the executor is pinned
+against.
 """
 
 from __future__ import annotations
@@ -141,6 +149,39 @@ def _execute_cell(cell: PlannedCell, plan: CampaignPlan, *, jobs: int,
     return record
 
 
+def build_cell_record(cell: PlannedCell, plan: CampaignPlan, *, jobs: int = 1,
+                      jobs_backend: str = "thread", run_chunk: int = 1) -> dict:
+    """The persistent record for one planned cell: ``n/a`` or executed.
+
+    A pure function of (cell, seed block, fan-out knobs) with no store
+    access — which is what lets the parallel executor and the cell queue
+    call it from worker threads while a single writer owns the store.
+    """
+    if cell.skip_reason is not None:
+        record = _cell_record_header(cell)
+        record["status"] = "na"
+        record["reason"] = cell.skip_reason
+        return record
+    return _execute_cell(cell, plan, jobs=jobs, jobs_backend=jobs_backend,
+                         run_chunk=run_chunk)
+
+
+def progress_line(cell: PlannedCell, total: int, record: dict) -> str:
+    """The one-line progress message for a finished cell (all executors)."""
+    labels = " ".join(f"{axis}={label}" for axis, label in cell.coordinates)
+    prefix = f"cell {cell.index + 1}/{total} [{labels}]"
+    if record["status"] == "na":
+        return f"{prefix} n/a: {record['reason']}"
+    if record["status"] == "error":
+        return f"{prefix} ERROR: {record['error']}"
+    result = record["result"]
+    return f"{prefix} {result['successes']}/{result['runs']} runs converged"
+
+
+INTERRUPT_MESSAGE = ("interrupted — every finished cell is persisted; "
+                     "run `repro campaign resume` to continue")
+
+
 def run_campaign(
     plan: CampaignPlan,
     store: ResultStore,
@@ -150,16 +191,28 @@ def run_campaign(
     run_chunk: int = 1,
     max_cells: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
+    cell_jobs: int = 1,
 ) -> CampaignRunStatus:
     """Execute every pending cell of ``plan``, streaming records to ``store``.
 
     ``max_cells`` caps the number of cells *newly executed* by this call
     (``None`` = no cap); the return value reports ``interrupted=True`` when
     the cap stopped the walk early.  ``progress`` (e.g. ``print``) receives
-    one line per cell.
+    one line per cell.  ``cell_jobs > 1`` overlaps independent cells across
+    a worker pool (:func:`repro.campaign.executor.run_campaign_parallel`);
+    the executed cell *set* and the folded results are identical to this
+    serial walk for every value.
     """
     if max_cells is not None and max_cells < 1:
         raise ValueError("max_cells must be at least 1")
+    if cell_jobs < 1:
+        raise ValueError("cell_jobs must be at least 1")
+    if cell_jobs > 1:
+        from repro.campaign.executor import run_campaign_parallel
+        return run_campaign_parallel(
+            plan, store, cell_jobs=cell_jobs, jobs=jobs,
+            jobs_backend=jobs_backend, run_chunk=run_chunk,
+            max_cells=max_cells, progress=progress)
     emit = progress if progress is not None else (lambda _message: None)
     status = CampaignRunStatus(total=plan.total)
     try:
@@ -171,32 +224,17 @@ def run_campaign(
             if max_cells is not None and status.executed_now >= max_cells:
                 status.interrupted = True
                 break
-            labels = " ".join(f"{axis}={label}" for axis, label in cell.coordinates)
-            if cell.skip_reason is not None:
-                record = _cell_record_header(cell)
-                record["status"] = "na"
-                record["reason"] = cell.skip_reason
-                emit(f"cell {cell.index + 1}/{plan.total} [{labels}] n/a: "
-                     f"{cell.skip_reason}")
-            else:
-                record = _execute_cell(
-                    cell, plan, jobs=jobs, jobs_backend=jobs_backend,
-                    run_chunk=run_chunk)
-                if record["status"] == "ok":
-                    result = record["result"]
-                    emit(f"cell {cell.index + 1}/{plan.total} [{labels}] "
-                         f"{result['successes']}/{result['runs']} runs converged")
-                else:
-                    emit(f"cell {cell.index + 1}/{plan.total} [{labels}] "
-                         f"ERROR: {record['error']}")
+            record = build_cell_record(
+                cell, plan, jobs=jobs, jobs_backend=jobs_backend,
+                run_chunk=run_chunk)
+            emit(progress_line(cell, plan.total, record))
             store.append_cell(record)
             status.executed_now += 1
             _tally(status, record)
     except KeyboardInterrupt:
         status.interrupted = True
         status.keyboard_interrupt = True
-        emit("interrupted — every finished cell is persisted; "
-             "run `repro campaign resume` to continue")
+        emit(INTERRUPT_MESSAGE)
     status.pending_cells = [
         cell for cell in plan.cells if store.record_for(cell.cell_id) is None]
     return status

@@ -1,46 +1,96 @@
-"""The persistent campaign result store: append-only JSONL, atomic appends.
+"""Persistent campaign result stores: append-only JSONL, atomic appends.
 
-One store file holds the results of one campaign.  The format is
-deliberately primitive — newline-delimited JSON, no third-party
-dependencies, greppable and diffable:
+Two store kinds share one primitive file format — newline-delimited JSON,
+no third-party dependencies, greppable and diffable:
 
-* line 1 is the **manifest**: ``{"kind": "campaign-manifest", "version":
-  1, "campaign": <name>, "campaign_hash": <hash>}``.  The hash fingerprints
-  the expanded grid (see :mod:`repro.campaign.planner`), so a store can
-  only be appended to by the campaign that created it — resuming with an
-  edited spec fails loudly instead of mixing incompatible cells.
-* every further line is one **cell record**: ``{"kind": "cell",
-  "cell_id": ..., "index": ..., "coordinates": {...}, "status":
-  "ok" | "na" | "error", ...}`` with the serialised
-  :class:`~repro.engine.experiment.ExperimentResult` under ``"result"``
-  for ``ok`` cells, the infeasibility reason under ``"reason"`` for
-  ``na`` cells, and the failure message under ``"error"`` for ``error``
-  cells.
+**Exclusive stores** (:class:`ResultStore`) hold one campaign's results.
+Line 1 is the **campaign manifest**: ``{"kind": "campaign-manifest",
+"version": 1, "campaign": <name>, "campaign_hash": <hash>}``.  The hash
+fingerprints the expanded grid (see :mod:`repro.campaign.planner`), so
+the store can only be appended to by the campaign that created it —
+resuming with an edited spec fails loudly instead of mixing
+incompatible cells.
+
+**Shared stores** (:class:`SharedResultStore`) hold one *cell pool*
+serving many campaigns.  Line 1 is ``{"kind": "shared-store-manifest",
+"version": 1}``; the file then interleaves cell records with
+**campaign registrations** — ``{"kind": "campaign", "campaign": <name>,
+"campaign_hash": <hash>, "cells": [<sorted cell ids>]}`` — one per
+campaign that has run against the pool (re-registering a name with a new
+grid hash supersedes the old registration).  Because cell ids are
+content addresses, a second campaign whose grid overlaps the pool finds
+its shared cells already present and recomputes only the set
+difference: cross-campaign dedup falls out of content addressing.
+
+Either way, every cell line is one **cell record**: ``{"kind": "cell",
+"cell_id": ..., "index": ..., "coordinates": {...}, "status":
+"ok" | "na" | "error", ...}`` with the serialised
+:class:`~repro.engine.experiment.ExperimentResult` under ``"result"``
+for ``ok`` cells, the infeasibility reason under ``"reason"`` for
+``na`` cells, and the failure message under ``"error"`` for ``error``
+cells.
 
 Atomicity and crash recovery
 ----------------------------
 
-Appends are atomic at cell granularity: each record is written as one
-``write`` of a complete line, flushed and ``fsync``-ed before the runner
-moves on, so a crash can lose at most the cell in flight — never corrupt
-a finished one.  If the process dies mid-write, the file ends in a torn
-(unparseable or unterminated) tail line; :meth:`ResultStore.open` detects
-it, truncates the store back to the last complete record, and resumes
-from there.  Records are keyed by content-addressed ``cell_id``, so
-replaying a lost cell appends an identical record and the folded view of
-the store is unchanged — which is what makes interrupted-and-resumed
-campaigns render byte-identical reports.
+Appends are atomic at cell granularity: each record is written as a
+single ``os.write`` of one complete line on an ``O_APPEND`` descriptor,
+``fsync``-ed before the runner moves on.  ``O_APPEND`` plus
+one-``write``-per-record is what makes **concurrent appenders** safe:
+parallel cell executors in one process (serialised by the store's lock)
+and independent processes sharing one pool file can interleave only at
+line granularity, never inside a record.  A crash can lose at most the
+record in flight — never corrupt a finished one.  If the process dies
+mid-write, the file ends in a torn (unparseable or unterminated) tail
+line; ``open`` detects it, truncates the store back to the last complete
+record, and resumes from there.  Records are keyed by content-addressed
+``cell_id``, so replaying a lost cell appends an identical record and
+the folded view of the store is unchanged — which is what makes
+interrupted-and-resumed campaigns render byte-identical reports.
+
+Record order on disk is **not** part of the contract: a parallel
+executor appends cells in completion order, which may differ run to run.
+Every consumer folds the record *set* — ``cell_records`` returns records
+keyed and ordered by sorted ``cell_id``, and reports look cells up by id
+in plan order — so two stores holding the same records in any order are
+equivalent (the fold-equivalence restatement of the resume pin, see
+``docs/invariants.md``).
+
+Compaction
+----------
+
+:func:`compact_store` rewrites a store in canonical order — manifest,
+then (shared stores) the latest registration per campaign sorted by
+name, then one record per live cell id sorted by id — dropping
+duplicate records, superseded registrations, torn tails, and (shared
+stores) orphaned cells no registered campaign references.  The rewrite
+is crash-safe: the canonical bytes go to a temporary file in the same
+directory, flushed and ``fsync``-ed, then ``os.replace``-d over the
+store, so a crash leaves either the old file or the new one, never a
+mix.  Compaction is idempotent (``compact(compact(s)) == compact(s)``
+byte for byte) and invisible to folds: the record set is preserved, so
+reports render byte-identically before and after.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 MANIFEST_KIND = "campaign-manifest"
+SHARED_MANIFEST_KIND = "shared-store-manifest"
+CAMPAIGN_KIND = "campaign"
 CELL_KIND = "cell"
 STORE_VERSION = 1
+
+#: The byte prefixes a torn manifest line is recognised by (the
+#: ``sort_keys`` JSON dumps of the two manifest kinds).  A torn first
+#: line matching neither is a foreign file and is never overwritten.
+_EXCLUSIVE_MANIFEST_PREFIX = b'{"campaign'
+_SHARED_MANIFEST_PREFIX = b'{"kind": "shared-store-manifest"'
 
 
 class StoreError(Exception):
@@ -82,14 +132,76 @@ def _read_lines(path: str) -> Tuple[List[Dict[str, Any]], int]:
     return records, good_size
 
 
-class ResultStore:
-    """Append-only JSONL store bound to one campaign's grid."""
+def _record_line(record: Dict[str, Any]) -> bytes:
+    """The canonical serialised form of one record: one JSON line."""
+    return (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+
+
+def _append_line(path: str, data: bytes) -> None:
+    """Append one complete record line: a single fsync'd ``os.write``.
+
+    ``O_APPEND`` makes the kernel serialise concurrent appenders at write
+    granularity, so two processes sharing a pool file can interleave only
+    whole lines.  Going through ``os.write`` (rather than buffered file
+    objects) keeps the write a single syscall — and gives the
+    fault-injection tests a seam to tear it mid-record.
+    """
+    fd = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+    try:
+        while data:
+            written = os.write(fd, data)
+            data = data[written:]
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+class _BaseStore:
+    """State and record plumbing shared by the exclusive and shared stores."""
 
     def __init__(self, path: str, manifest: Dict[str, Any],
                  cell_records: Dict[str, Dict[str, Any]]) -> None:
         self.path = path
         self.manifest = manifest
         self._cells = cell_records
+        #: Serialises in-process appenders (the parallel executor appends
+        #: from one thread, but the queue and library callers need not).
+        self._lock = threading.Lock()
+
+    # -- reading ----------------------------------------------------------------
+
+    def completed_ids(self) -> set:
+        """Cell ids with a persisted record (any status)."""
+        return set(self._cells)
+
+    def record_for(self, cell_id: str) -> Optional[Dict[str, Any]]:
+        return self._cells.get(cell_id)
+
+    @property
+    def cell_records(self) -> Dict[str, Dict[str, Any]]:
+        """Records keyed by cell id, **ordered by sorted cell id**.
+
+        Append order tracks execution order, which a parallel executor is
+        allowed to permute — so the iteration order handed to folds is
+        normalised here, making every downstream consumer independent of
+        completion order by construction.
+        """
+        return {cell_id: self._cells[cell_id]
+                for cell_id in sorted(self._cells)}
+
+    # -- writing ----------------------------------------------------------------
+
+    def append_cell(self, record: Dict[str, Any]) -> None:
+        """Persist one finished cell: a single flushed, fsync-ed line."""
+        if record.get("kind") != CELL_KIND or "cell_id" not in record:
+            raise StoreError("cell records need kind='cell' and a cell_id")
+        with self._lock:
+            _append_line(self.path, _record_line(record))
+            self._cells[record["cell_id"]] = record
+
+
+class ResultStore(_BaseStore):
+    """Append-only JSONL store bound to one campaign's grid."""
 
     # -- opening ----------------------------------------------------------------
 
@@ -133,17 +245,20 @@ class ResultStore:
             # No complete record at all: either an empty file or a manifest
             # line torn by a crash during create().  Nothing is lost (no
             # cell had been persisted), so re-initialise in place — but only
-            # if the torn bytes are recognisably our own manifest (the
-            # sort_keys dump starts with "campaign"); anything else is not a
-            # campaign store and must not be silently overwritten.
+            # if the torn bytes are recognisably our own manifest; anything
+            # else is not a campaign store and must not be overwritten.
             with open(path, "rb") as handle:
                 leftover = handle.read()
-            if not recover or (leftover
-                               and not leftover.startswith(b'{"campaign')):
+            if not recover or (leftover and not leftover.startswith(
+                    _EXCLUSIVE_MANIFEST_PREFIX)):
                 raise StoreError(f"store {path!r} has no campaign manifest line")
             with open(path, "w", encoding="utf-8") as handle:
                 manifest = cls._write_manifest(handle, campaign_name, campaign_hash)
             return cls(path, manifest, {})
+        if records[0].get("kind") == SHARED_MANIFEST_KIND:
+            raise StoreError(
+                f"store {path!r} is a shared multi-campaign store; open it "
+                "with SharedResultStore (the CLI auto-detects this)")
         if records[0].get("kind") != MANIFEST_KIND:
             raise StoreError(f"store {path!r} has no campaign manifest line")
         manifest = records[0]
@@ -178,28 +293,279 @@ class ResultStore:
             return cls.open(path, campaign_name, campaign_hash)
         return cls.create(path, campaign_name, campaign_hash)
 
-    # -- reading ----------------------------------------------------------------
 
-    def completed_ids(self) -> set:
-        """Cell ids with a persisted record (any status)."""
-        return set(self._cells)
+class SharedResultStore(_BaseStore):
+    """One content-addressed cell pool serving many campaigns.
 
-    def record_for(self, cell_id: str) -> Optional[Dict[str, Any]]:
-        return self._cells.get(cell_id)
+    The pool is **keyed by cell id only**: any campaign may append, and a
+    campaign whose grid overlaps cells already in the pool (from an
+    earlier campaign, another user, or itself) skips them instead of
+    recomputing.  Per-campaign membership lives in registration records
+    layered over the pool — the latest registration per campaign name
+    wins, and compaction drops cells no registered campaign references.
+    """
+
+    def __init__(self, path: str, manifest: Dict[str, Any],
+                 cell_records: Dict[str, Dict[str, Any]],
+                 registrations: Dict[str, Dict[str, Any]]) -> None:
+        super().__init__(path, manifest, cell_records)
+        self._registrations = registrations
+
+    # -- opening ----------------------------------------------------------------
+
+    @classmethod
+    def create(cls, path: str) -> "SharedResultStore":
+        """Create a fresh shared pool (the file must not already exist)."""
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        with open(path, "x", encoding="utf-8") as handle:
+            manifest = cls._write_manifest(handle)
+        return cls(path, manifest, {}, {})
+
+    @staticmethod
+    def _write_manifest(handle) -> Dict[str, Any]:
+        manifest = {"kind": SHARED_MANIFEST_KIND, "version": STORE_VERSION}
+        handle.write(json.dumps(manifest, sort_keys=True) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+        return manifest
+
+    @classmethod
+    def open(cls, path: str, *, recover: bool = True) -> "SharedResultStore":
+        """Open an existing pool; recover torn tails unless read-only."""
+        if not os.path.exists(path):
+            raise StoreError(f"no result store at {path!r}; run the campaign first")
+        records, good_size = _read_lines(path)
+        if not records:
+            with open(path, "rb") as handle:
+                leftover = handle.read()
+            if not recover or (leftover and not leftover.startswith(
+                    _SHARED_MANIFEST_PREFIX)):
+                raise StoreError(f"store {path!r} has no campaign manifest line")
+            with open(path, "w", encoding="utf-8") as handle:
+                manifest = cls._write_manifest(handle)
+            return cls(path, manifest, {}, {})
+        if records[0].get("kind") == MANIFEST_KIND:
+            raise StoreError(
+                f"store {path!r} is an exclusive single-campaign store, not "
+                "a shared pool; drop --shared or pick another --store path")
+        if records[0].get("kind") != SHARED_MANIFEST_KIND:
+            raise StoreError(f"store {path!r} has no campaign manifest line")
+        manifest = records[0]
+        if manifest.get("version") != STORE_VERSION:
+            raise StoreError(
+                f"store {path!r} is version {manifest.get('version')!r}; "
+                f"this build reads version {STORE_VERSION}")
+        if recover and good_size < os.path.getsize(path):
+            with open(path, "r+b") as handle:
+                handle.truncate(good_size)
+        cells: Dict[str, Dict[str, Any]] = {}
+        registrations: Dict[str, Dict[str, Any]] = {}
+        for record in records[1:]:
+            kind = record.get("kind")
+            if kind == CELL_KIND:
+                cells[record["cell_id"]] = record
+            elif kind == CAMPAIGN_KIND:
+                registrations[record["campaign"]] = record  # latest wins
+            else:
+                raise StoreError(
+                    f"store {path!r} holds an unknown record kind {kind!r}")
+        return cls(path, manifest, cells, registrations)
+
+    @classmethod
+    def open_or_create(cls, path: str) -> "SharedResultStore":
+        if os.path.exists(path):
+            return cls.open(path)
+        return cls.create(path)
+
+    # -- campaign registrations --------------------------------------------------
 
     @property
-    def cell_records(self) -> Dict[str, Dict[str, Any]]:
-        return dict(self._cells)
+    def registrations(self) -> Dict[str, Dict[str, Any]]:
+        """Latest registration per campaign name, ordered by sorted name."""
+        return {name: self._registrations[name]
+                for name in sorted(self._registrations)}
 
-    # -- writing ----------------------------------------------------------------
+    def registration_for(self, campaign_name: str) -> Optional[Dict[str, Any]]:
+        return self._registrations.get(campaign_name)
 
-    def append_cell(self, record: Dict[str, Any]) -> None:
-        """Persist one finished cell: a single flushed, fsync-ed line."""
-        if record.get("kind") != CELL_KIND or "cell_id" not in record:
-            raise StoreError("cell records need kind='cell' and a cell_id")
-        line = json.dumps(record, sort_keys=True) + "\n"
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(line)
-            handle.flush()
-            os.fsync(handle.fileno())
-        self._cells[record["cell_id"]] = record
+    def register_campaign(self, campaign_name: str, campaign_hash: str,
+                          cell_ids: List[str]) -> bool:
+        """Bind a campaign's membership (its sorted cell-id set) to the pool.
+
+        Idempotent: re-registering an identical (name, hash, cells) triple
+        appends nothing.  A changed grid under the same name appends a new
+        registration that **supersedes** the old one — previous cells the
+        new grid no longer references become orphans, reclaimed by
+        :func:`compact_store`.  Returns ``True`` when a record was written.
+        """
+        record = {
+            "kind": CAMPAIGN_KIND,
+            "campaign": campaign_name,
+            "campaign_hash": campaign_hash,
+            "cells": sorted(cell_ids),
+        }
+        existing = self._registrations.get(campaign_name)
+        if existing is not None \
+                and existing.get("campaign_hash") == campaign_hash \
+                and existing.get("cells") == record["cells"]:
+            return False
+        with self._lock:
+            _append_line(self.path, _record_line(record))
+            self._registrations[campaign_name] = record
+        return True
+
+    def referenced_ids(self) -> set:
+        """Cell ids referenced by at least one registered campaign."""
+        referenced = set()
+        for name in sorted(self._registrations):
+            referenced.update(self._registrations[name].get("cells", []))
+        return referenced
+
+    def orphaned_ids(self) -> set:
+        """Persisted cells no registered campaign references."""
+        return self.completed_ids() - self.referenced_ids()
+
+
+def store_kind(path: str) -> str:
+    """``"exclusive"`` or ``"shared"``, from an existing store's manifest.
+
+    A store whose manifest line itself is torn is classified by its byte
+    prefix (each kind's recovery path can then re-initialise it); a file
+    that is neither raises, so foreign files are never claimed.
+    """
+    if not os.path.exists(path):
+        raise StoreError(f"no result store at {path!r}; run the campaign first")
+    records, _ = _read_lines(path)
+    if records:
+        kind = records[0].get("kind")
+        if kind == MANIFEST_KIND:
+            return "exclusive"
+        if kind == SHARED_MANIFEST_KIND:
+            return "shared"
+        raise StoreError(f"store {path!r} has no campaign manifest line")
+    with open(path, "rb") as handle:
+        leftover = handle.read()
+    if leftover.startswith(_SHARED_MANIFEST_PREFIX):
+        return "shared"
+    if not leftover or leftover.startswith(_EXCLUSIVE_MANIFEST_PREFIX):
+        return "exclusive"
+    raise StoreError(f"store {path!r} has no campaign manifest line")
+
+
+@dataclass(frozen=True)
+class CompactionStats:
+    """What :func:`compact_store` kept and reclaimed."""
+
+    kind: str
+    cells_kept: int
+    duplicates_dropped: int
+    orphans_dropped: int
+    registrations_dropped: int
+    bytes_before: int
+    bytes_after: int
+
+    def summary(self) -> str:
+        parts = [f"{self.cells_kept} cells kept"]
+        if self.duplicates_dropped:
+            parts.append(f"{self.duplicates_dropped} duplicate records dropped")
+        if self.orphans_dropped:
+            parts.append(f"{self.orphans_dropped} orphaned cells dropped")
+        if self.registrations_dropped:
+            parts.append(
+                f"{self.registrations_dropped} superseded registrations dropped")
+        parts.append(f"{self.bytes_before} -> {self.bytes_after} bytes")
+        return ", ".join(parts)
+
+
+def compact_store(path: str) -> CompactionStats:
+    """Rewrite a store in canonical order, dropping dead records.
+
+    Works on both store kinds (dispatching on the manifest): the output is
+    the manifest line, then — for shared pools — the latest registration
+    per campaign (sorted by name), then one record per live cell id
+    (sorted by id).  Dropped: duplicate cell records (later appends win,
+    as on load), superseded registrations, torn tails, and — shared pools
+    only — orphaned cells referenced by no registered campaign.
+
+    Crash-safe via write-temp-then-rename: the canonical bytes are written
+    to ``<path>.compact.tmp`` in the same directory, flushed and fsync'd,
+    then atomically ``os.replace``-d over the store.  Idempotent — the
+    output is a pure function of the record set, so compacting twice
+    yields byte-identical files — and fold-invisible: the record set (and
+    hence every report) is unchanged.
+    """
+    kind = store_kind(path)
+    records, _ = _read_lines(path)
+    if not records:
+        raise StoreError(
+            f"store {path!r} has no complete manifest line; run the campaign "
+            "(which recovers it) before compacting")
+    manifest = records[0]
+
+    cells: Dict[str, Dict[str, Any]] = {}
+    registrations: Dict[str, Dict[str, Any]] = {}
+    duplicates = 0
+    superseded = 0
+    for record in records[1:]:
+        record_kind = record.get("kind")
+        if record_kind == CELL_KIND:
+            if record["cell_id"] in cells:
+                duplicates += 1
+            cells[record["cell_id"]] = record
+        elif record_kind == CAMPAIGN_KIND and kind == "shared":
+            if record["campaign"] in registrations:
+                superseded += 1
+            registrations[record["campaign"]] = record
+        else:
+            raise StoreError(
+                f"store {path!r} holds an unknown record kind {record_kind!r}")
+
+    orphans = 0
+    if kind == "shared":
+        referenced = set()
+        for name in sorted(registrations):
+            referenced.update(registrations[name].get("cells", []))
+        live_ids = [cell_id for cell_id in sorted(cells)
+                    if cell_id in referenced]
+        orphans = len(cells) - len(live_ids)
+    else:
+        live_ids = sorted(cells)
+
+    lines: List[bytes] = [_record_line(manifest)]
+    lines.extend(_record_line(registrations[name])
+                 for name in sorted(registrations))
+    lines.extend(_record_line(cells[cell_id]) for cell_id in live_ids)
+
+    bytes_before = os.path.getsize(path)
+    temp_path = path + ".compact.tmp"
+    with open(temp_path, "wb") as handle:
+        handle.write(b"".join(lines))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp_path, path)
+    _fsync_directory(os.path.dirname(os.path.abspath(path)))
+    return CompactionStats(
+        kind=kind,
+        cells_kept=len(live_ids),
+        duplicates_dropped=duplicates,
+        orphans_dropped=orphans,
+        registrations_dropped=superseded,
+        bytes_before=bytes_before,
+        bytes_after=os.path.getsize(path),
+    )
+
+
+def _fsync_directory(directory: str) -> None:
+    """Flush a rename to the directory entry (best effort; not all
+    platforms allow fsync on directory descriptors)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)

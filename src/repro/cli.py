@@ -14,9 +14,12 @@ The CLI exposes the library's main workflows without writing any Python:
 ``repro campaign``
     Declarative, resumable parameter-sweep campaigns
     (:mod:`repro.campaign`): ``run`` a JSON campaign spec over a grid of
-    experiments with a persistent JSONL result store, ``status`` it,
-    ``resume`` an interrupted sweep (completed cells are skipped), and
-    render a Figure-4-style ``report``.
+    experiments with a persistent JSONL result store (``--cell-jobs K``
+    overlaps independent cells across a worker pool; ``--shared`` pools
+    cells across campaigns so overlapping grids are never recomputed),
+    ``status`` it, ``resume`` an interrupted sweep (completed cells are
+    skipped), render a Figure-4-style ``report``, and ``compact`` the
+    store (drop superseded/orphaned records; reports are unchanged).
 
 ``repro list``
     Print every registered protocol, simulator, predicate, scheduler and
@@ -46,8 +49,12 @@ Examples::
     repro run --protocol epidemic --population 100000 --engine-backend array \
               --trace-policy counts-only --max-steps 2000000
     repro campaign run examples/figure4_omission_sweep.json
+    repro campaign run examples/figure4_omission_sweep.json --cell-jobs 4
+    repro campaign run examples/figure4_omission_sweep.json \
+          --shared --store pool.results.jsonl
     repro campaign resume examples/figure4_omission_sweep.json
     repro campaign report examples/figure4_omission_sweep.json
+    repro campaign compact examples/figure4_omission_sweep.json
     repro lint --format json
     repro list
     repro attack lemma1 --omission-bound 1
@@ -61,7 +68,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 from repro.adversary.constructions import Lemma1Construction, no1_liveness_attack
 from repro.analysis.reporting import format_results_map, format_table
@@ -69,7 +76,13 @@ from repro.campaign.planner import CampaignPlan, plan_campaign
 from repro.campaign.report import render_report
 from repro.campaign.runner import campaign_status, run_campaign
 from repro.campaign.spec import CampaignError, campaign_from_file
-from repro.campaign.store import ResultStore, StoreError
+from repro.campaign.store import (
+    ResultStore,
+    SharedResultStore,
+    StoreError,
+    compact_store,
+    store_kind,
+)
 from repro.core.skno import SKnOSimulator
 from repro.core.verification import verify_simulation
 from repro.engine.backends import ENGINE_BACKENDS, BackendError
@@ -316,30 +329,70 @@ def _load_campaign(args) -> Tuple[CampaignPlan, str]:
     return plan, store_path
 
 
+def _open_campaign_store(args, plan: CampaignPlan,
+                         store_path: str) -> Union[ResultStore,
+                                                   SharedResultStore]:
+    """Open (or create, for ``run``) the right store kind for the action.
+
+    Existing stores are opened as whatever their manifest says they are —
+    ``--shared`` only decides what ``run`` *creates* (and rejects an
+    exclusive store when sharing was asked for).  status/report opens are
+    strictly read-only; only run/resume may repair torn tails or
+    re-initialise a torn manifest.
+    """
+    campaign = plan.campaign
+    writable = args.action in ("run", "resume")
+    if not os.path.exists(store_path):
+        if args.action != "run":
+            raise SystemExit(
+                f"no result store at {store_path!r}; run the campaign first")
+        if args.shared:
+            return SharedResultStore.create(store_path)
+        return ResultStore.create(store_path, campaign.name, plan.campaign_hash)
+    kind = store_kind(store_path)
+    if args.shared and kind != "shared":
+        raise SystemExit(
+            f"store {store_path!r} is an exclusive single-campaign store, "
+            "not a shared pool; drop --shared or pick another --store path")
+    if kind == "shared":
+        return SharedResultStore.open(store_path, recover=writable)
+    return ResultStore.open(store_path, campaign.name, plan.campaign_hash,
+                            recover=writable)
+
+
 def _command_campaign(args) -> int:
     if args.action in ("run", "resume"):
         if args.max_cells is not None and args.max_cells < 1:
             raise SystemExit("--max-cells must be at least 1")
+        if args.cell_jobs < 1:
+            raise SystemExit("--cell-jobs must be at least 1")
         if args.jobs < 1:
             raise SystemExit("--jobs must be at least 1")
         if args.run_chunk < 1:
             raise SystemExit("--run-chunk must be at least 1")
     plan, store_path = _load_campaign(args)
     campaign = plan.campaign
+
+    if args.action == "compact":
+        try:
+            stats = compact_store(store_path)
+        except StoreError as error:
+            raise SystemExit(str(error))
+        print(f"compacted {store_path} ({stats.kind}): {stats.summary()}")
+        return 0
+
     try:
-        if args.action == "run":
-            store = ResultStore.open_or_create(
-                store_path, campaign.name, plan.campaign_hash)
-        else:
-            # status/report are strictly read-only opens; only run/resume
-            # may repair torn tails or re-initialise a torn manifest.
-            store = ResultStore.open(
-                store_path, campaign.name, plan.campaign_hash,
-                recover=args.action == "resume")
+        store = _open_campaign_store(args, plan, store_path)
     except StoreError as error:
         raise SystemExit(str(error))
 
     if args.action in ("run", "resume"):
+        if isinstance(store, SharedResultStore):
+            # Bind this campaign's membership to the pool up front so
+            # orphan accounting (and compaction) knows the cell set even
+            # if this invocation is interrupted.
+            store.register_campaign(
+                campaign.name, plan.campaign_hash, plan.cell_ids())
         progress = None if args.quiet else print
         status = run_campaign(
             plan, store,
@@ -348,6 +401,7 @@ def _command_campaign(args) -> int:
             run_chunk=args.run_chunk,
             max_cells=args.max_cells,
             progress=progress,
+            cell_jobs=args.cell_jobs,
         )
         print(f"campaign {campaign.name}: {status.summary()}  (store: {store_path})")
         if status.pending:
@@ -493,14 +547,26 @@ def build_parser() -> argparse.ArgumentParser:
         "campaign",
         help="declarative, resumable parameter-sweep campaigns over a result store")
     campaign_parser.add_argument(
-        "action", choices=("run", "status", "resume", "report"),
+        "action", choices=("run", "status", "resume", "report", "compact"),
         help="run: execute pending cells (creates the store); resume: continue "
              "an interrupted campaign (requires the store); status: progress "
-             "summary; report: render the verdict grids and per-cell table")
+             "summary; report: render the verdict grids and per-cell table; "
+             "compact: rewrite the store in canonical order, dropping "
+             "superseded and orphaned records (reports are byte-identical "
+             "before and after)")
     campaign_parser.add_argument("spec", help="path to the campaign spec (JSON)")
     campaign_parser.add_argument(
         "--store", default=None,
         help="result store path (default: <spec stem>.results.jsonl next to the spec)")
+    campaign_parser.add_argument(
+        "--shared", action="store_true",
+        help="use a shared multi-campaign cell pool at the store path: "
+             "campaigns with overlapping grids reuse each other's cells "
+             "instead of recomputing (auto-detected for existing stores)")
+    campaign_parser.add_argument(
+        "--cell-jobs", type=int, default=1,
+        help="independent cells to keep in flight (cell-level worker pool; "
+             "composes with the per-cell --jobs fan-out)")
     campaign_parser.add_argument("--jobs", type=int, default=1,
                                  help="workers for each cell's per-seed fan-out")
     campaign_parser.add_argument("--backend", choices=JOBS_BACKENDS, default="thread",

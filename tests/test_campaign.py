@@ -110,6 +110,25 @@ class TestCampaignSpec:
         campaign = campaign_from_dict(small_campaign())
         assert campaign.report_axes() == ("scheduler", "population")
 
+    def test_priority_parses_and_defaults_to_zero(self):
+        assert campaign_from_dict(small_campaign()).priority == 0
+        prioritised = small_campaign()
+        prioritised["priority"] = 3
+        assert campaign_from_dict(prioritised).priority == 3
+        prioritised["priority"] = "high"
+        with pytest.raises(CampaignError, match="'priority'"):
+            campaign_from_dict(prioritised)
+
+    def test_priority_is_scheduling_metadata_not_identity(self):
+        # Re-prioritising a campaign must never re-run cells: neither the
+        # grid fingerprint nor any cell id may depend on `priority`.
+        baseline = plan_campaign(campaign_from_dict(small_campaign()))
+        prioritised_data = small_campaign()
+        prioritised_data["priority"] = 9
+        prioritised = plan_campaign(campaign_from_dict(prioritised_data))
+        assert prioritised.campaign_hash == baseline.campaign_hash
+        assert prioritised.cell_ids() == baseline.cell_ids()
+
     def test_partial_report_section_never_collapses_two_axes(self):
         # Setting only rows (or only cols) to an axis the other side would
         # default to must not produce a rows == cols one-dimensional grid.
@@ -280,6 +299,18 @@ class TestResultStore:
         ResultStore.create(path, "c", "hash1")
         with pytest.raises(StoreError, match="spec changed"):
             ResultStore.open(path, "c", "hash2")
+
+    def test_cell_records_are_ordered_by_id_not_append_order(self, tmp_path):
+        # Parallel executors append in completion order; every fold keys
+        # off cell id, so the store normalises iteration order itself.
+        path = str(tmp_path / "s.jsonl")
+        store = ResultStore.create(path, "c", "hash1")
+        for cell_id in ("zz", "aa", "mm"):
+            store.append_cell({"kind": "cell", "cell_id": cell_id,
+                               "status": "na"})
+        assert list(store.cell_records) == ["aa", "mm", "zz"]
+        reopened = ResultStore.open(path, "c", "hash1")
+        assert list(reopened.cell_records) == ["aa", "mm", "zz"]
 
     def test_torn_tail_is_recovered(self, tmp_path):
         path = str(tmp_path / "s.jsonl")

@@ -177,6 +177,28 @@ class TestStoreBypass:
             module="repro.campaign.spec")
         assert findings == []
 
+    def test_new_campaign_modules_are_in_scope(self):
+        # The parallel executor and the queue hold no write path of their
+        # own — if one appears, it is a finding, not a new sanctioned case.
+        for module in ("repro.campaign.executor", "repro.campaign.queue"):
+            findings = lint_source(
+                "with open('out.jsonl', 'a') as fh:\n    fh.write('x')\n",
+                module=module)
+            assert codes(findings) == ["RPL004"]
+
+    def test_sanctioned_writer_module_is_exempt(self):
+        # store.py owns both sanctioned writers: the atomic-append helper
+        # and compact_store's write-temp-then-rename rewrite.
+        from repro.lint.rules_robustness import StoreBypassRule
+        assert StoreBypassRule.sanctioned_modules == ("repro.campaign.store",)
+        findings = lint_source(
+            "import os\n"
+            "with open('s.jsonl.compact.tmp', 'wb') as fh:\n"
+            "    fh.write(b'{}')\n"
+            "os.replace('s.jsonl.compact.tmp', 's.jsonl')\n",
+            module="repro.campaign.store")
+        assert findings == []
+
     def test_store_module_itself_exempt(self):
         # The helper module owns the durability contract.
         findings = lint_source(
