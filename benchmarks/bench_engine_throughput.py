@@ -44,6 +44,17 @@ path, counts-only, on two catalog protocols at n = 10^4 and 10^5.  Its
 guard: at n = 10^5 the array backend must be **≥ 5x** the python backend on
 *both* protocols (typically 8-13x; run in the CI numpy job).
 
+Combining both flags — ``--backend array --adversary bounded`` (or ``uo``)
+— runs the **adversary-on-array** comparison instead: the compiled
+injection-schedule pipeline versus the python batched adversary protocol,
+counts-only, one-way epidemic under I3 at n = 10^4 and 10^5.  Its guard:
+at n = 10^5 the array backend must be **≥ 3x** the python backend (looser
+than the adversary-free guard because the schedule walk itself stays in
+python).  ``--json PATH`` appends the measured cell to a JSON file
+(read-update-merge keyed by adversary class, so the separate ``bounded``
+and ``uo`` CI invocations accumulate into one ``BENCH_array_adversary.json``
+artifact).
+
 Headline guards at n=10^4 in the default mode, failing the benchmark when
 they regress: ``counts-only`` must be ≥ 5x ``legacy`` and batched draws
 ≥ 1.3x per-step draws (both TW, no adversary; typically ~2x), and the
@@ -55,6 +66,8 @@ shared-CI noise cannot fail an unrelated change.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
 from typing import Optional
@@ -94,6 +107,18 @@ ARRAY_WORKLOADS = (
 ARRAY_GUARD_POPULATION = 100_000
 ARRAY_GUARD_FACTOR = 5.0
 
+#: The adversary-on-array guard: ≥3x at n=10^5 for bounded and uo alike.
+#: Looser than the adversary-free guard because the injection-schedule walk
+#: itself runs in python (only the merge and execution are columnar).
+ADVERSARY_GUARD_FACTOR = 3.0
+
+
+def build_adversary(kind: str, model, seed: int):
+    """The benchmark's canonical adversary instances, shared by every mode."""
+    if kind == "bounded":
+        return BoundedOmissionAdversary(model, max_omissions=64, rate=0.5, seed=seed)
+    return UOAdversary(model, rate=0.25, max_per_gap=3, seed=seed)
+
 
 def build_engine(model_name: str, n: int, seed: int, with_adversary: bool,
                  adversary_kind: str = "uo") -> SimulationEngine:
@@ -104,11 +129,7 @@ def build_engine(model_name: str, n: int, seed: int, with_adversary: bool,
         program = TrivialTwoWaySimulator(EpidemicProtocol())
     adversary = None
     if with_adversary:
-        if adversary_kind == "bounded":
-            adversary = BoundedOmissionAdversary(
-                model, max_omissions=64, rate=0.5, seed=seed)
-        else:
-            adversary = UOAdversary(model, rate=0.25, max_per_gap=3, seed=seed)
+        adversary = build_adversary(adversary_kind, model, seed)
     return SimulationEngine(program, model, RandomScheduler(n, seed=seed), adversary=adversary)
 
 
@@ -232,6 +253,101 @@ def run_backend_comparison(args) -> int:
     return 1 if failed else 0
 
 
+def _merge_bench_json(path: str, adversary_kind: str, payload: dict) -> None:
+    """Read-update-merge ``payload`` under ``adversary_kind`` into ``path``.
+
+    Separate CI invocations (one per adversary class) accumulate into a
+    single artifact; a corrupt or missing file starts over rather than
+    failing the benchmark.
+    """
+    data: dict = {}
+    if os.path.exists(path):
+        try:
+            with open(path, encoding="utf-8") as handle:
+                loaded = json.load(handle)
+            if isinstance(loaded, dict):
+                data = loaded
+        except (OSError, ValueError):
+            data = {}
+    data[adversary_kind] = payload
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {path} [{adversary_kind}]")
+
+
+def run_adversary_backend_comparison(args) -> int:
+    """``--backend array --adversary <kind>``: compiled injection schedules
+    vs. the python batched adversary protocol, counts-only.
+
+    One workload — one-way epidemic under I3 (the omission-admitting model
+    the equivalence suite anchors on) with the chosen adversary attached to
+    both backends from the same seed.  Pure budget runs, so both backends
+    execute exactly ``steps`` interactions (injections count toward the
+    budget) and it/s is directly comparable.
+    """
+    sizes = args.sizes or [10_000, ARRAY_GUARD_POPULATION]
+    if ARRAY_GUARD_POPULATION not in sizes:
+        sizes = sorted(sizes + [ARRAY_GUARD_POPULATION])
+    python_steps = args.steps or (50_000 if args.quick else 200_000)
+    array_steps = python_steps * 5
+
+    model = get_model("I3")
+    rows = []
+    guard_cell: Optional[dict] = None
+    for n in sizes:
+        rates = {}
+        for backend, steps in (("python", python_steps), ("array", array_steps)):
+            engine = SimulationEngine(
+                OneWayEpidemicProtocol(), model,
+                RandomScheduler(n, seed=0),
+                adversary=build_adversary(args.adversary, model, seed=0),
+                backend=backend)
+            initial = initial_configuration(n)
+            start = time.perf_counter()
+            outcome = engine.execute(initial, steps, trace_policy="counts-only")
+            elapsed = time.perf_counter() - start
+            rates[backend] = outcome.steps / elapsed if elapsed > 0 else float("inf")
+        speedup = rates["array"] / rates["python"]
+        if n == ARRAY_GUARD_POPULATION:
+            guard_cell = {
+                "adversary": args.adversary,
+                "model": "I3",
+                "protocol": "one-way-epidemic",
+                "n": n,
+                "python_steps": python_steps,
+                "array_steps": array_steps,
+                "python_its": round(rates["python"], 1),
+                "array_its": round(rates["array"], 1),
+                "speedup": round(speedup, 2),
+                "guard_factor": ADVERSARY_GUARD_FACTOR,
+            }
+        rows.append([
+            args.adversary, n,
+            f"{rates['python']:,.0f}", f"{rates['array']:,.0f}",
+            f"{speedup:.1f}x",
+        ])
+
+    print(format_table(
+        ["adversary", "n", "python counts-only it/s", "array counts-only it/s",
+         "array vs python"],
+        rows,
+    ))
+    print()
+    assert guard_cell is not None
+    print(f"headline: array backend with the {args.adversary} adversary is "
+          f"{guard_cell['speedup']:.1f}x the python batched protocol at "
+          f"n={ARRAY_GUARD_POPULATION:,} (I3, one-way epidemic)")
+    if args.json:
+        _merge_bench_json(args.json, args.adversary, guard_cell)
+    if guard_cell["speedup"] < ADVERSARY_GUARD_FACTOR:
+        print(f"FAIL: expected at least {ADVERSARY_GUARD_FACTOR:.0f}x at "
+              f"n={ARRAY_GUARD_POPULATION:,} with the {args.adversary} adversary",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -240,16 +356,27 @@ def main(argv: Optional[list] = None) -> int:
                         help="interactions per measurement (default: scaled to n)")
     parser.add_argument("--sizes", type=int, nargs="+", default=None,
                         help="population sizes (default: 100 1000 10000)")
-    parser.add_argument("--adversary", choices=("uo", "bounded"), default="uo",
-                        help="adversary class for the adversary-present rows")
+    parser.add_argument("--adversary", choices=("uo", "bounded"), default=None,
+                        help="adversary class for the adversary-present rows "
+                             "(default uo); with --backend array, switches to "
+                             "the adversary-on-array comparison and its ≥3x "
+                             "guard at n=100,000")
     parser.add_argument("--backend", choices=("python", "array"), default="python",
                         help="python: the historical trace-policy comparison; "
                              "array: the execution-backend comparison with its "
                              "≥5x guard at n=100,000 (needs numpy)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="adversary-on-array mode only: merge the guarded "
+                             "measurement into this JSON artifact "
+                             "(e.g. BENCH_array_adversary.json)")
     args = parser.parse_args(argv)
 
     if args.backend == "array":
+        if args.adversary is not None:
+            return run_adversary_backend_comparison(args)
         return run_backend_comparison(args)
+    if args.adversary is None:
+        args.adversary = "uo"
 
     if args.quick:
         sizes = args.sizes or [100, 1000]

@@ -64,6 +64,36 @@ RNG work entirely on the pass-through stretches where they can prove no
 injection is possible (``NOAdversary`` past ``active_steps``,
 ``BoundedOmissionAdversary`` with an exhausted budget, ``NO1Adversary``
 away from ``inject_at``).
+
+The content-free schedule protocol (array lowering)
+---------------------------------------------------
+
+:meth:`OmissionAdversary.plan_chunk_schedule` is the third protocol, the
+one the columnar array backend compiles against.  It exploits the fact
+that none of the catalog adversaries ever *read* the scheduled
+interaction they are injecting before — their decisions depend only on
+the step index, their own RNG and their budgets.  The schedule therefore
+needs no scheduled draws at all: given ``(step, count, n, budget)`` it
+returns an :class:`InjectionSchedule` — gap positions plus the kept
+injections — that the backend merges into the scheduler's index arrays
+with one vectorized ``np.insert``.  The contract is exact equivalence
+with :meth:`~OmissionAdversary.plan_interactions` on any ``count``
+scheduled draws: same kept/discarded/consumed arithmetic, same RNG
+consumption order, same end state bit for bit (pinned by
+``tests/test_array_adversary_equivalence.py``).
+
+:meth:`OmissionAdversary.plan_chunk_schedule_columns` is the same
+protocol in columnar form — raw ``starters``/``reactors``/``kinds``
+index lists instead of :class:`~repro.scheduling.runs.Interaction`
+objects (:class:`ColumnSchedule`).  It exists purely for speed: the
+array backend consumes hundreds of thousands of injections per second,
+and both the namedtuple allocation and ``random.Random``'s
+``randrange``/``choice`` wrapper layers dominate that budget.  The
+concrete adversaries override it with walks that draw the *identical*
+entropy (``getrandbits`` with the same rejection sampling CPython's
+``Random._randbelow`` performs) straight into flat lists, so the RNG end
+state stays bit-for-bit equal to the object-producing protocols — the
+columns/schedule agreement is pinned by the same equivalence suite.
 """
 
 from __future__ import annotations
@@ -92,6 +122,73 @@ class ChunkPlan(NamedTuple):
     interactions: List[Interaction]
     consumed: int
     discarded: int
+
+
+class InjectionSchedule(NamedTuple):
+    """An adversary chunk plan without the scheduled draws: just the injections.
+
+    Equivalent information to :class:`ChunkPlan` for adversaries that never
+    inspect the scheduled interactions (every catalog adversary):
+    ``positions[i]`` is the chunk-local scheduled-gap index (``< consumed``)
+    whose scheduled interaction ``injections[i]`` executes *before*;
+    repeated positions keep their list order.  Only kept injections are
+    listed — ``discarded`` counts the ones budget truncation dropped (they
+    still consumed the adversary's omission budget and RNG stream, rule 2
+    of the batched protocol) — so the executed chunk has exactly
+    ``len(injections) + consumed`` interactions, never more than the step
+    budget.  Producing a schedule advances the adversary (RNG position,
+    omission budget) exactly as planning the same chunk through
+    :meth:`OmissionAdversary.plan_interactions` would.
+    """
+
+    positions: List[int]
+    injections: List[Interaction]
+    consumed: int
+    discarded: int
+
+
+class ColumnSchedule(NamedTuple):
+    """An :class:`InjectionSchedule` in columnar form, for the array backend.
+
+    ``starters[i]``/``reactors[i]`` are the agent indices of kept injection
+    ``i`` and ``kinds[i]`` the index of its omission kind in the adversary's
+    admissible-omissive-kind tuple (the order of
+    ``model.admissible_omissions()`` restricted to omissive kinds — the same
+    order the backend's transition-table stack rows follow).  ``positions``,
+    ``consumed`` and ``discarded`` mean exactly what they do on
+    :class:`InjectionSchedule`, and producing a column schedule advances the
+    adversary's RNG and budgets identically.
+    """
+
+    positions: List[int]
+    starters: List[int]
+    reactors: List[int]
+    kinds: List[int]
+    consumed: int
+    discarded: int
+
+
+def _schedule_to_columns(
+    schedule: InjectionSchedule, kind_index: dict
+) -> ColumnSchedule:
+    """Rewrite an :class:`InjectionSchedule` in columnar form (the generic
+    fallback behind :meth:`OmissionAdversary.plan_chunk_schedule_columns`)."""
+    starters: List[int] = []
+    reactors: List[int] = []
+    kinds: List[int] = []
+    for interaction in schedule.injections:
+        starters.append(interaction.starter)
+        reactors.append(interaction.reactor)
+        kinds.append(kind_index[interaction.omission])
+    return ColumnSchedule(schedule.positions, starters, reactors, kinds,
+                          schedule.consumed, schedule.discarded)
+
+
+#: The scheduled-interaction stand-in the reference schedule walk feeds to
+#: ``interactions_before``.  Legitimate because the schedule protocol is
+#: only defined for adversaries that never read the scheduled interaction's
+#: content (see :meth:`OmissionAdversary.plan_chunk_schedule`).
+_SCHEDULE_PLACEHOLDER = Interaction(0, 1)
 
 
 def plan_interactions_per_step(
@@ -158,6 +255,59 @@ class OmissionAdversary:
         """
         return plan_interactions_per_step(self, step, scheduled, n, budget)
 
+    def plan_chunk_schedule(
+        self, step: int, count: int, n: int, budget: Optional[int] = None,
+    ) -> InjectionSchedule:
+        """Content-free batched protocol: plan a chunk without its draws.
+
+        Valid only for adversaries whose :meth:`interactions_before` never
+        reads the ``scheduled`` interaction's content (true of every
+        catalog adversary) — the default implementation replays the
+        reference walk of :func:`plan_interactions_per_step` against a
+        placeholder, consuming RNG and budgets identically.  Returns the
+        :class:`InjectionSchedule` equivalent to
+        ``plan_interactions(step, <any count draws>, n, budget)``.
+        """
+        positions: List[int] = []
+        injections: List[Interaction] = []
+        consumed = 0
+        discarded = 0
+        remaining = budget
+        while consumed < count:
+            if remaining is not None and remaining < 1:
+                break
+            injected = self.interactions_before(
+                step=step + consumed, scheduled=_SCHEDULE_PLACEHOLDER, n=n)
+            kept = len(injected)
+            if remaining is not None and kept >= remaining:
+                kept = remaining - 1
+                discarded += len(injected) - kept
+                injected = injected[:kept]
+            positions.extend([consumed] * len(injected))
+            injections.extend(injected)
+            consumed += 1
+            if remaining is not None:
+                remaining -= kept + 1
+        return InjectionSchedule(positions, injections, consumed, discarded)
+
+    def plan_chunk_schedule_columns(
+        self, step: int, count: int, n: int, budget: Optional[int] = None,
+    ) -> ColumnSchedule:
+        """:meth:`plan_chunk_schedule` in columnar form (see the module
+        docstring).
+
+        The default derives the columns from :meth:`plan_chunk_schedule`, so
+        it is exactly as equivalent (and as fast) as that method; the
+        catalog adversaries override it with allocation-free walks that
+        consume the identical RNG stream.  Only defined for kinds drawn from
+        the adversary's admissible-omissive-kind tuple — which every catalog
+        adversary guarantees.
+        """
+        schedule = self.plan_chunk_schedule(step, count, n, budget)
+        kinds = getattr(self, "_omissive_kinds", ())
+        kind_index = {kind: index for index, kind in enumerate(kinds)}
+        return _schedule_to_columns(schedule, kind_index)
+
     def reset(self) -> None:
         """Reset internal state (budgets, RNG) so the adversary can be reused."""
 
@@ -182,6 +332,24 @@ class OmissionAdversary:
             scheduled = scheduled[:count]
         return ChunkPlan(list(scheduled), count, discarded)
 
+    @staticmethod
+    def _pass_through_schedule(
+        count: int, budget: Optional[int], discarded: int = 0
+    ) -> InjectionSchedule:
+        """A schedule that injects nothing: ``count`` gaps, clipped to ``budget``."""
+        if budget is not None and budget < count:
+            count = budget
+        return InjectionSchedule([], [], count, discarded)
+
+    @staticmethod
+    def _pass_through_columns(
+        count: int, budget: Optional[int], discarded: int = 0
+    ) -> ColumnSchedule:
+        """:meth:`_pass_through_schedule` in columnar form."""
+        if budget is not None and budget < count:
+            count = budget
+        return ColumnSchedule([], [], [], [], count, discarded)
+
 
 class NoOmissionAdversary(OmissionAdversary):
     """The trivial adversary that never injects anything."""
@@ -196,6 +364,16 @@ class NoOmissionAdversary(OmissionAdversary):
         budget: Optional[int] = None,
     ) -> ChunkPlan:
         return self._pass_through(scheduled, budget)
+
+    def plan_chunk_schedule(
+        self, step: int, count: int, n: int, budget: Optional[int] = None,
+    ) -> InjectionSchedule:
+        return self._pass_through_schedule(count, budget)
+
+    def plan_chunk_schedule_columns(
+        self, step: int, count: int, n: int, budget: Optional[int] = None,
+    ) -> ColumnSchedule:
+        return self._pass_through_columns(count, budget)
 
 
 class _RandomOmissionMixin:
@@ -264,6 +442,108 @@ class _RandomOmissionMixin:
             consumed += 1
         return consumed, discarded, injected, remaining
 
+    def _geometric_schedule_walk(
+        self,
+        count: int,
+        n: int,
+        budget: Optional[int],
+        positions: List[int],
+        injections: List[Interaction],
+    ) -> Tuple[int, int, int, Optional[int]]:
+        """:meth:`_geometric_walk` without the scheduled draws.
+
+        Identical RNG consumption and kept/discarded arithmetic, gap for
+        gap — only the output form differs: kept injections land in
+        ``positions``/``injections`` instead of an interleaved plan.
+        Returns ``(consumed, discarded, injected, remaining_budget)``.
+        """
+        probability = self.rate / (1.0 + self.rate)
+        max_per_gap = self.max_per_gap
+        rng_random = self._rng.random
+        make = self._make_omissive_interaction
+        remaining = budget
+        consumed = discarded = injected = 0
+        while consumed < count:
+            if remaining is not None and remaining < 1:
+                break
+            drawn = 0
+            while drawn < max_per_gap and rng_random() < probability:
+                drawn += 1
+                interaction = make(n)
+                if remaining is None or drawn < remaining:
+                    positions.append(consumed)
+                    injections.append(interaction)
+            if remaining is not None:
+                kept = drawn if drawn < remaining else remaining - 1
+                discarded += drawn - kept
+                remaining -= kept + 1
+            injected += drawn
+            consumed += 1
+        return consumed, discarded, injected, remaining
+
+    def _geometric_columns_walk(
+        self,
+        count: int,
+        n: int,
+        budget: Optional[int],
+        positions: List[int],
+        starters: List[int],
+        reactors: List[int],
+        kinds: List[int],
+    ) -> Tuple[int, int, int, Optional[int]]:
+        """:meth:`_geometric_schedule_walk` in columnar, allocation-free form.
+
+        Consumes the identical entropy: one ``random()`` per attempted
+        injection, then per constructed injection the exact ``getrandbits``
+        rejection sampling that CPython's ``Random._randbelow`` performs for
+        ``randrange(n)``, ``randrange(n - 1)`` and ``choice(kinds)`` — so
+        the RNG end state is bit-for-bit the one the object-producing walks
+        leave, while skipping their ``randrange``/``choice`` wrapper frames
+        and the :class:`~repro.scheduling.runs.Interaction` allocations
+        (which dominate the array backend's injection throughput).
+        """
+        probability = self.rate / (1.0 + self.rate)
+        max_per_gap = self.max_per_gap
+        rng = self._rng
+        rng_random = rng.random
+        getrandbits = rng.getrandbits
+        n_bits = n.bit_length()
+        shifted = n - 1
+        shifted_bits = shifted.bit_length()
+        kind_count = len(self._omissive_kinds)
+        kind_bits = kind_count.bit_length()
+        remaining = budget
+        consumed = discarded = injected = 0
+        while consumed < count:
+            if remaining is not None and remaining < 1:
+                break
+            drawn = 0
+            while drawn < max_per_gap and rng_random() < probability:
+                drawn += 1
+                starter = getrandbits(n_bits)
+                while starter >= n:
+                    starter = getrandbits(n_bits)
+                reactor = getrandbits(shifted_bits)
+                while reactor >= shifted:
+                    reactor = getrandbits(shifted_bits)
+                if reactor >= starter:
+                    reactor += 1
+                kind = getrandbits(kind_bits)
+                while kind >= kind_count:
+                    kind = getrandbits(kind_bits)
+                if remaining is None or drawn < remaining:
+                    positions.append(consumed)
+                    starters.append(starter)
+                    reactors.append(reactor)
+                    kinds.append(kind)
+            if remaining is not None:
+                kept = drawn if drawn < remaining else remaining - 1
+                discarded += drawn - kept
+                remaining -= kept + 1
+            injected += drawn
+            consumed += 1
+        return consumed, discarded, injected, remaining
+
 
 class UOAdversary(_RandomOmissionMixin, OmissionAdversary):
     """Unfair Omissive adversary: injects omissions forever (Definition 1).
@@ -308,6 +588,29 @@ class UOAdversary(_RandomOmissionMixin, OmissionAdversary):
         consumed, discarded, injected, _ = self._geometric_walk(scheduled, n, budget, plan)
         self.total_injected += injected
         return ChunkPlan(plan, consumed, discarded)
+
+    def plan_chunk_schedule(
+        self, step: int, count: int, n: int, budget: Optional[int] = None,
+    ) -> InjectionSchedule:
+        positions: List[int] = []
+        injections: List[Interaction] = []
+        consumed, discarded, injected, _ = self._geometric_schedule_walk(
+            count, n, budget, positions, injections)
+        self.total_injected += injected
+        return InjectionSchedule(positions, injections, consumed, discarded)
+
+    def plan_chunk_schedule_columns(
+        self, step: int, count: int, n: int, budget: Optional[int] = None,
+    ) -> ColumnSchedule:
+        positions: List[int] = []
+        starters: List[int] = []
+        reactors: List[int] = []
+        kinds: List[int] = []
+        consumed, discarded, injected, _ = self._geometric_columns_walk(
+            count, n, budget, positions, starters, reactors, kinds)
+        self.total_injected += injected
+        return ColumnSchedule(positions, starters, reactors, kinds,
+                              consumed, discarded)
 
     def reset(self) -> None:
         self._reset_rng()
@@ -370,6 +673,45 @@ class NOAdversary(_RandomOmissionMixin, OmissionAdversary):
             plan.extend(passthrough.interactions)
             consumed += passthrough.consumed
         return ChunkPlan(plan, consumed, discarded)
+
+    def plan_chunk_schedule(
+        self, step: int, count: int, n: int, budget: Optional[int] = None,
+    ) -> InjectionSchedule:
+        active = self.active_steps - step
+        if active <= 0:
+            return self._pass_through_schedule(count, budget)
+        head = active if active < count else count
+        positions: List[int] = []
+        injections: List[Interaction] = []
+        consumed, discarded, injected, remaining = self._geometric_schedule_walk(
+            head, n, budget, positions, injections)
+        self.total_injected += injected
+        tail = count - head
+        if tail and consumed == head:
+            passthrough = self._pass_through_schedule(tail, remaining)
+            consumed += passthrough.consumed
+        return InjectionSchedule(positions, injections, consumed, discarded)
+
+    def plan_chunk_schedule_columns(
+        self, step: int, count: int, n: int, budget: Optional[int] = None,
+    ) -> ColumnSchedule:
+        active = self.active_steps - step
+        if active <= 0:
+            return self._pass_through_columns(count, budget)
+        head = active if active < count else count
+        positions: List[int] = []
+        starters: List[int] = []
+        reactors: List[int] = []
+        kinds: List[int] = []
+        consumed, discarded, injected, remaining = self._geometric_columns_walk(
+            head, n, budget, positions, starters, reactors, kinds)
+        self.total_injected += injected
+        tail = count - head
+        if tail and consumed == head:
+            passthrough = self._pass_through_columns(tail, remaining)
+            consumed += passthrough.consumed
+        return ColumnSchedule(positions, starters, reactors, kinds,
+                              consumed, discarded)
 
     def reset(self) -> None:
         self._reset_rng()
@@ -455,6 +797,45 @@ class BoundedOmissionAdversary(_RandomOmissionMixin, OmissionAdversary):
             consumed += passthrough.consumed
         return ChunkPlan(plan, consumed, discarded)
 
+    def plan_chunk_schedule(
+        self, step: int, count: int, n: int, budget: Optional[int] = None,
+    ) -> InjectionSchedule:
+        total = self.total_injected
+        max_omissions = self.max_omissions
+        if total >= max_omissions:
+            return self._pass_through_schedule(count, budget)
+        rate = self.rate
+        rng_random = self._rng.random
+        make = self._make_omissive_interaction
+        positions: List[int] = []
+        injections: List[Interaction] = []
+        remaining = budget
+        consumed = discarded = 0
+        gap = 0
+        while gap < count and total < max_omissions:
+            if remaining is not None and remaining < 1:
+                self.total_injected = total
+                return InjectionSchedule(positions, injections, consumed, discarded)
+            gap += 1
+            if rng_random() < rate:
+                total += 1
+                interaction = make(n)
+                if remaining is None or remaining >= 2:
+                    positions.append(consumed)
+                    injections.append(interaction)
+                    if remaining is not None:
+                        remaining -= 1
+                else:
+                    discarded += 1
+            consumed += 1
+            if remaining is not None:
+                remaining -= 1
+        self.total_injected = total
+        if gap < count:
+            passthrough = self._pass_through_schedule(count - gap, remaining)
+            consumed += passthrough.consumed
+        return InjectionSchedule(positions, injections, consumed, discarded)
+
     def reset(self) -> None:
         self._reset_rng()
         self.total_injected = 0
@@ -506,3 +887,15 @@ class NO1Adversary(BoundedOmissionAdversary):
         # interactions_before per gap, which is exactly NO1's semantics
         # (and costs one method call per gap on at most one chunk per run).
         return plan_interactions_per_step(self, step, scheduled, n, budget)
+
+    def plan_chunk_schedule(
+        self, step: int, count: int, n: int, budget: Optional[int] = None,
+    ) -> InjectionSchedule:
+        if self.total_injected >= 1 or not (
+            step <= self.inject_at < step + count
+        ):
+            return self._pass_through_schedule(count, budget)
+        # interactions_before never reads its scheduled argument, so the
+        # base reference schedule walk applies verbatim (and pays its
+        # per-gap method call on at most one chunk per run).
+        return OmissionAdversary.plan_chunk_schedule(self, step, count, n, budget)

@@ -17,7 +17,18 @@ and expands the cross product of its axes into an ordered list of
   (``n/a`` in reports): omission budgets on non-omissive models, and the
   knowledge-of-``n`` simulator on sparse interaction graphs, where the
   ``Nn`` naming phase deadlocks (documented in
-  ``benchmarks/bench_figure_4_results_map.py``).
+  ``benchmarks/bench_figure_4_results_map.py``),
+* an optional ``backend_reason`` explaining why a cell that asked for the
+  ``auto`` backend fell back to ``python``.
+
+``backend="auto"`` cells are resolved **here, before cell hashing**
+(:func:`repro.protocols.registry.resolve_backend`): the content address
+covers the *concrete* backend the cell will run on, so a store produced
+under ``auto`` is byte-identical to one produced under the equivalent
+explicit backend, and resumes stay fold-equivalent across fan-out modes.
+Resolution is deterministic in the resolved fields — it never consults
+timings — and a probe failure downgrades the cell to ``python`` with the
+compile error recorded as ``backend_reason``, never killing the plan.
 
 The plan's ``campaign_hash`` fingerprints the whole grid; the result
 store records it so a store can only ever be resumed against the campaign
@@ -34,6 +45,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.campaign.spec import AxisPoint, CampaignError, CampaignSpec
+from repro.engine.backends import BackendError
 from repro.interaction.models import MODELS_BY_NAME
 from repro.protocols.registry import (
     ADVERSARIES,
@@ -42,6 +54,7 @@ from repro.protocols.registry import (
     SCHEDULERS,
     SIMULATORS,
     ExperimentSpec,
+    resolve_backend,
 )
 
 #: Registry-key spec fields checked at plan time (``field -> registry``).
@@ -122,9 +135,14 @@ class PlannedCell:
     cell_id: str
     #: ``axis name -> point label``, in axis order (report coordinates).
     coordinates: Tuple[Tuple[str, str], ...]
-    #: Resolved ExperimentSpec fields (plain data).
+    #: Resolved ExperimentSpec fields (plain data).  ``backend`` is always
+    #: concrete here: ``auto`` is resolved at plan time, before hashing.
     fields: Tuple[Tuple[str, Any], ...]
     skip_reason: Optional[str] = None
+    #: Why an ``auto`` cell fell back to the python backend (``None`` when
+    #: it resolved to ``array`` or never asked for ``auto``); surfaced by
+    #: the CLI so slow-path cells are visible, not silent.
+    backend_reason: Optional[str] = None
 
     @property
     def labels(self) -> Dict[str, str]:
@@ -171,6 +189,30 @@ def _cell_identity(fields: Dict[str, Any], campaign: CampaignSpec) -> str:
     return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()[:16]
 
 
+def _resolve_auto_backend(
+    fields: Dict[str, Any], coordinates: Tuple[Tuple[str, str], ...]
+) -> Optional[str]:
+    """Pin a feasible ``backend="auto"`` cell to a concrete backend, in place.
+
+    Returns the fallback reason (``None`` when the cell resolved to the
+    array backend).  Resolution failures never abort planning: the cell is
+    downgraded to the python backend — which supports everything — with the
+    failure recorded as its reason.  Runs against the campaign runner's
+    trace policy (``counts-only``), so what is probed is what will run.
+    """
+    spec = ExperimentSpec(**fields)
+    try:
+        resolution = resolve_backend(spec, trace_policy="counts-only")
+    except (BackendError, KeyError, TypeError, ValueError) as error:
+        # The probe builds the experiment, which can fail in ways planning
+        # does not check (kwargs contents, protocol defaults); the python
+        # backend will report the same failure as a per-cell error verdict.
+        fields["backend"] = "python"
+        return f"auto resolution failed for cell {dict(coordinates)}: {error}"
+    fields["backend"] = resolution.backend
+    return resolution.reason
+
+
 def plan_campaign(campaign: CampaignSpec) -> CampaignPlan:
     """Expand the campaign grid into its ordered, content-addressed cells.
 
@@ -179,6 +221,12 @@ def plan_campaign(campaign: CampaignSpec) -> CampaignPlan:
     at plan time, before anything runs); infeasible cells skip construction
     — their spec may be structurally invalid (e.g. an omission budget on a
     non-omissive model), which is exactly why they are ``n/a``.
+
+    ``backend="auto"`` cells are pinned to a concrete backend here, before
+    the cell id is computed, so content addresses depend only on what the
+    cell will actually run (infeasible ``auto`` cells pin to ``python``
+    without probing — they never execute, but their ids must still be
+    machine-independent).
     """
     axis_names = campaign.axis_names
     point_lists: List[List[AxisPoint]] = [points for _, points in campaign.axes]
@@ -189,14 +237,8 @@ def plan_campaign(campaign: CampaignSpec) -> CampaignPlan:
         for point in combo:
             fields.update(point.as_dict())
         coordinates = tuple(zip(axis_names, (point.label for point in combo)))
-        cell_id = _cell_identity(fields, campaign)
-        labels = tuple(label for _, label in coordinates)
-        if cell_id in seen:
-            raise CampaignError(
-                f"cells {seen[cell_id]} and {labels} resolve to the same "
-                "experiment; axes must distinguish every cell")
-        seen[cell_id] = labels
         skip_reason = infeasible_reason(fields)
+        backend_reason: Optional[str] = None
         if skip_reason is None:
             try:
                 ExperimentSpec(**fields)
@@ -218,12 +260,24 @@ def plan_campaign(campaign: CampaignSpec) -> CampaignPlan:
                 raise CampaignError(
                     f"cell {dict(coordinates)}: unknown model "
                     f"{fields.get('model')!r}; known models: {known}")
+            if fields.get("backend") == "auto":
+                backend_reason = _resolve_auto_backend(fields, coordinates)
+        elif fields.get("backend") == "auto":
+            fields["backend"] = "python"
+        cell_id = _cell_identity(fields, campaign)
+        labels = tuple(label for _, label in coordinates)
+        if cell_id in seen:
+            raise CampaignError(
+                f"cells {seen[cell_id]} and {labels} resolve to the same "
+                "experiment; axes must distinguish every cell")
+        seen[cell_id] = labels
         cells.append(PlannedCell(
             index=index,
             cell_id=cell_id,
             coordinates=coordinates,
             fields=tuple(sorted(fields.items())),
             skip_reason=skip_reason,
+            backend_reason=backend_reason,
         ))
 
     # The *sorted* cell-id set: axis order determines walk order, never

@@ -104,6 +104,45 @@ def campaign_status(plan: CampaignPlan, store: ResultStore) -> CampaignRunStatus
     return status_of_records(plan, store.cell_records)
 
 
+#: Fallback reasons shown in full by :func:`backend_summary` before it
+#: collapses the rest into a count (keeps the preamble bounded on big grids).
+MAX_BACKEND_REASONS = 3
+
+
+def backend_summary(plan: CampaignPlan) -> List[str]:
+    """Human-readable lines describing the plan's backend resolution.
+
+    One line tallying executable cells per concrete engine backend, then —
+    when ``auto`` cells fell back to the python backend — the first few
+    distinct reasons.  Empty when nothing resolved to the array backend and
+    no fallback happened (an all-python campaign has no selection story to
+    tell); the CLI prints these before running so slow-path cells are
+    visible up front.
+    """
+    counts: dict = {}
+    reasons: List[str] = []
+    seen_reasons: set = set()
+    for cell in plan.cells:
+        if cell.skip_reason is not None:
+            continue
+        backend = dict(cell.fields).get("backend", "python")
+        counts[backend] = counts.get(backend, 0) + 1
+        if cell.backend_reason and cell.backend_reason not in seen_reasons:
+            seen_reasons.add(cell.backend_reason)
+            reasons.append(cell.backend_reason)
+    if not reasons and set(counts) <= {"python"}:
+        return []
+    tally = ", ".join(f"{count} on {backend}"
+                      for backend, count in sorted(counts.items()))
+    lines = [f"engine backends: {tally}"]
+    for reason in reasons[:MAX_BACKEND_REASONS]:
+        lines.append(f"  python fallback: {reason}")
+    if len(reasons) > MAX_BACKEND_REASONS:
+        lines.append(
+            f"  ... and {len(reasons) - MAX_BACKEND_REASONS} more fallback reasons")
+    return lines
+
+
 def _cell_record_header(cell: PlannedCell) -> dict:
     """The fields every persisted cell record shares, whatever its status."""
     return {

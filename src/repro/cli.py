@@ -66,6 +66,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import os
 import sys
 from typing import List, Optional, Tuple, Union
@@ -74,7 +75,7 @@ from repro.adversary.constructions import Lemma1Construction, no1_liveness_attac
 from repro.analysis.reporting import format_results_map, format_table
 from repro.campaign.planner import CampaignPlan, plan_campaign
 from repro.campaign.report import render_report
-from repro.campaign.runner import campaign_status, run_campaign
+from repro.campaign.runner import backend_summary, campaign_status, run_campaign
 from repro.campaign.spec import CampaignError, campaign_from_file
 from repro.campaign.store import (
     ResultStore,
@@ -85,7 +86,13 @@ from repro.campaign.store import (
 )
 from repro.core.skno import SKnOSimulator
 from repro.core.verification import verify_simulation
-from repro.engine.backends import ENGINE_BACKENDS, BackendError
+from repro.engine.backends import (
+    BACKEND_CHOICES,
+    BackendError,
+    BackendUnavailableError,
+    ENGINE_BACKENDS,
+    get_backend,
+)
 from repro.engine.convergence import run_until_stable
 from repro.engine.engine import SimulationEngine
 from repro.engine.experiment import JOBS_BACKENDS, repeat_experiment
@@ -104,11 +111,51 @@ from repro.protocols.registry import (
     ExperimentSpec,
     build_simulator,
     default_initial_configuration,
+    resolve_backend,
     stable_output_predicate,
 )
 from repro.protocols.state import Configuration
 
 SIMULATOR_CHOICES = ("none", "skno", "sid", "known-n")
+
+
+def _experiment_spec(args, protocol_kwargs) -> ExperimentSpec:
+    """The registry spec for ``repro run``'s arguments (both run paths)."""
+    return ExperimentSpec(
+        protocol=args.protocol,
+        protocol_kwargs=protocol_kwargs,
+        population=args.population,
+        model=args.model,
+        simulator=args.simulator,
+        omission_bound=args.omission_bound,
+        omissions=args.omissions,
+        adversary=args.adversary,
+        ones=args.ones,
+        predicate="stable-output",
+        scheduler=args.scheduler,
+        chunk_size=args.chunk_size,
+        backend=args.engine_backend,
+    )
+
+
+def _resolve_cli_backend(args, protocol_kwargs) -> str:
+    """Pin ``--engine-backend auto`` for this run, announcing the choice.
+
+    Resolution happens against the run's actual trace policy, so what is
+    probed is what will execute; concrete backends pass through silently.
+    """
+    if args.engine_backend != "auto":
+        return args.engine_backend
+    spec = _experiment_spec(args, protocol_kwargs)
+    try:
+        resolution = resolve_backend(spec, trace_policy=args.trace_policy)
+    except (BackendError, KeyError, TypeError, ValueError) as error:
+        raise SystemExit(f"--engine-backend auto: {error}")
+    line = f"engine backend: auto -> {resolution.backend}"
+    if resolution.reason:
+        line += f" ({resolution.reason})"
+    print(line)
+    return resolution.backend
 
 
 def _command_run(args) -> int:
@@ -152,9 +199,10 @@ def _command_run(args) -> int:
         adversary = ADVERSARIES[args.adversary](model, args.omissions, seed=args.seed)
 
     scheduler = SCHEDULERS[args.scheduler](args.population, seed=args.seed)
+    engine_backend = _resolve_cli_backend(args, protocol_kwargs)
     engine = SimulationEngine(
         simulator, model, scheduler, adversary=adversary,
-        backend=args.engine_backend)
+        backend=engine_backend)
     try:
         outcome = run_until_stable(engine, config, predicate, max_steps=args.max_steps,
                                    stability_window=args.stability_window,
@@ -212,21 +260,12 @@ def _run_repeated(args, protocol, model, simulator, protocol_kwargs) -> int:
     The experiment is described by a picklable registry spec, so the thread
     and process backends execute byte-identical runs and merge the same way.
     """
-    spec = ExperimentSpec(
-        protocol=args.protocol,
-        protocol_kwargs=protocol_kwargs,
-        population=args.population,
-        model=args.model,
-        simulator=args.simulator,
-        omission_bound=args.omission_bound,
-        omissions=args.omissions,
-        adversary=args.adversary,
-        ones=args.ones,
-        predicate="stable-output",
-        scheduler=args.scheduler,
-        chunk_size=args.chunk_size,
-        backend=args.engine_backend,
-    )
+    spec = _experiment_spec(args, protocol_kwargs)
+    if spec.backend == "auto":
+        # Resolve (and announce) here rather than inside repeat_experiment
+        # so the user sees which backend won and why before the runs start.
+        spec = dataclasses.replace(
+            spec, backend=_resolve_cli_backend(args, protocol_kwargs))
 
     validate = None
     if args.trace_policy == "full":
@@ -319,9 +358,21 @@ def _default_store_path(spec_path: str) -> str:
 
 
 def _load_campaign(args) -> Tuple[CampaignPlan, str]:
-    """Parse the campaign spec, expand the plan, resolve the store path."""
+    """Parse the campaign spec, expand the plan, resolve the store path.
+
+    The engine backend layering (every action, so cell ids stay consistent
+    between run/status/resume/report): an explicit ``--engine-backend``
+    flag overrides the spec's ``base.backend``; otherwise the spec value
+    applies; otherwise campaigns default to ``auto`` — the planner then
+    pins each cell to the fastest backend that compiles, before hashing.
+    """
     try:
         campaign = campaign_from_file(args.spec)
+        engine_backend = getattr(args, "engine_backend", None)
+        if engine_backend is not None:
+            campaign.base["backend"] = engine_backend
+        else:
+            campaign.base.setdefault("backend", "auto")
         plan = plan_campaign(campaign)
     except CampaignError as error:
         raise SystemExit(f"campaign spec {args.spec}: {error}")
@@ -393,6 +444,9 @@ def _command_campaign(args) -> int:
             # if this invocation is interrupted.
             store.register_campaign(
                 campaign.name, plan.campaign_hash, plan.cell_ids())
+        if not args.quiet:
+            for line in backend_summary(plan):
+                print(line)
         progress = None if args.quiet else print
         status = run_campaign(
             plan, store,
@@ -434,6 +488,77 @@ def _command_campaign(args) -> int:
     return 0 if status.complete and not status.errors else 1
 
 
+def _array_support() -> Optional[dict]:
+    """Which registered keys compile for the array backend, per registry.
+
+    ``None`` when numpy is unavailable.  Each key is probed with a small
+    representative experiment (the epidemic protocol, model I3 where an
+    omissive model is needed), so simulator/predicate verdicts read "can
+    compile", not "compiles for every protocol" — e.g. ``stable-output``
+    compiles wherever it reduces to a state-count predicate.
+    """
+    try:
+        get_backend("array")
+    except (BackendUnavailableError, BackendError):
+        return None
+    from repro.core.trivial import TrivialTwoWaySimulator
+    from repro.engine.backends.array_backend import (
+        ARRAY_COMPILED_ADVERSARIES,
+        compile_program,
+        probe_compile,
+    )
+    from repro.interaction.models import get_model as _get_model
+    from repro.scheduling.array_draws import compile_scheduler
+
+    probe_errors = (BackendError, KeyError, TypeError, ValueError)
+    support: dict = {}
+
+    def probed(keys, check) -> List[str]:
+        compilable = []
+        for key in keys:
+            try:
+                if check(key):
+                    compilable.append(key)
+            except probe_errors:
+                continue
+        return compilable
+
+    epidemic = get_protocol("epidemic")
+    omissive = _get_model("I3")
+    trivial_tw = _get_model("TW")
+
+    def protocol_compiles(name: str) -> bool:
+        compile_program(TrivialTwoWaySimulator(get_protocol(name)), trivial_tw)
+        return True
+
+    def simulator_compiles(name: str) -> bool:
+        compile_program(build_simulator(name, epidemic, 8, 1, "I3"), omissive)
+        return True
+
+    trivial_epidemic = TrivialTwoWaySimulator(epidemic)
+    epidemic_initial = default_initial_configuration(epidemic, 8)
+
+    def predicate_compiles(name: str) -> bool:
+        predicate = PREDICATES[name](trivial_epidemic, epidemic, epidemic_initial)
+        return probe_compile(
+            trivial_epidemic, trivial_tw, predicate=predicate, population=8) is None
+
+    def scheduler_compiles(name: str) -> bool:
+        compile_scheduler(SCHEDULERS[name](4, seed=0))
+        return True
+
+    def adversary_compiles(name: str) -> bool:
+        return type(ADVERSARIES[name](omissive, 1, seed=0)) \
+            in ARRAY_COMPILED_ADVERSARIES
+
+    support["protocols"] = probed(sorted(CATALOG), protocol_compiles)
+    support["simulators"] = probed(sorted(SIMULATORS), simulator_compiles)
+    support["predicates"] = probed(sorted(PREDICATES), predicate_compiles)
+    support["schedulers"] = probed(sorted(SCHEDULERS), scheduler_compiles)
+    support["adversaries"] = probed(sorted(ADVERSARIES), adversary_compiles)
+    return support
+
+
 def _command_list(_args) -> int:
     sections = [
         ("protocols", sorted(CATALOG)),
@@ -444,8 +569,21 @@ def _command_list(_args) -> int:
         ("engine backends", list(ENGINE_BACKENDS)),
         ("fan-out backends", list(JOBS_BACKENDS)),
     ]
-    rows = [[kind, ", ".join(names)] for kind, names in sections]
-    print(format_table(["registry", "registered keys"], rows))
+    support = _array_support()
+    rows = []
+    for kind, names in sections:
+        if support is None or kind not in support:
+            compilable = "-"
+        else:
+            supported = set(support[kind])
+            compilable = ", ".join(
+                name for name in names if name in supported) or "(none)"
+        rows.append([kind, ", ".join(names), compilable])
+    print(format_table(["registry", "registered keys", "array-compilable"], rows))
+    if support is None:
+        print()
+        print("array-compilable column unavailable: numpy is not installed "
+              "(pip install 'repro[fast]')")
     if ENTRY_POINT_ERRORS:
         print()
         print("entry points that FAILED to load (repro.protocols group):")
@@ -526,13 +664,15 @@ def build_parser() -> argparse.ArgumentParser:
                                  "cycle), or a graph family restricting interactions "
                                  "to a topology (ring-graph, star-graph, "
                                  "complete-graph)")
-    run_parser.add_argument("--engine-backend", choices=ENGINE_BACKENDS, default="python",
+    run_parser.add_argument("--engine-backend", choices=BACKEND_CHOICES, default="python",
                             help="execution backend: python (default, supports "
-                                 "everything) or array (columnar numpy engine for "
+                                 "everything), array (columnar numpy engine for "
                                  "huge populations; needs the repro[fast] extra, "
-                                 "--trace-policy counts-only, no --omissions, and a "
-                                 "finite-state protocol — anything else fails with "
-                                 "an explanation)")
+                                 "a finite-state protocol, counts-only or ring "
+                                 "traces, and catalog adversaries/schedulers — "
+                                 "anything else fails with an explanation), or "
+                                 "auto (probe what compiles and pick the fastest "
+                                 "backend, announcing the choice)")
     run_parser.add_argument("--trace-policy", choices=("full", "counts-only", "ring"),
                             default="full",
                             help="full: record every step and verify the simulation; "
@@ -574,6 +714,14 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument("--run-chunk", type=int, default=1,
                                  help="consecutive seeds per executor task "
                                       "(see repro run --run-chunk)")
+    campaign_parser.add_argument(
+        "--engine-backend", choices=BACKEND_CHOICES, default=None,
+        help="engine backend for every cell, overriding the spec's "
+             "base.backend (default: the spec's value, else auto — each "
+             "cell is pinned to the fastest backend that compiles at plan "
+             "time, before cell hashing, so content addresses and resumes "
+             "stay stable); pass the same flag to status/report so they "
+             "address the same cells")
     campaign_parser.add_argument("--max-cells", type=int, default=None,
                                  help="stop after executing this many new cells "
                                       "(deterministic interruption; resume later)")

@@ -19,6 +19,14 @@ Selection points: ``SimulationEngine(backend=...)``,
 ``repro run --engine-backend``.  Backend implementations are imported
 lazily, so ``import repro`` never touches numpy and installs without the
 extra keep working until ``array`` is actually requested.
+
+Specs (but not engines) additionally accept the pseudo-backend ``"auto"``:
+:func:`repro.protocols.registry.resolve_backend` probes whether every
+ingredient of the experiment compiles for the array backend
+(:func:`repro.engine.backends.array_backend.probe_compile`) and pins the
+fastest concrete backend *before* the spec reaches an engine or a campaign
+cell hash.  ``"auto"`` therefore never appears here in
+:data:`ENGINE_BACKENDS` and :func:`get_backend` refuses it.
 """
 
 from __future__ import annotations
@@ -35,18 +43,25 @@ from repro.engine.backends.base import (
 #: The selectable execution backends.
 ENGINE_BACKENDS = ("python", "array")
 
+#: What a spec/CLI flag may say: the concrete backends plus ``"auto"``,
+#: which :func:`repro.protocols.registry.resolve_backend` replaces with a
+#: concrete name before execution.
+BACKEND_CHOICES = ENGINE_BACKENDS + ("auto",)
+
 _INSTANCES: Dict[str, ExecutionBackend] = {}
 
 
 def validate_backend(name: str) -> str:
-    """Check ``name`` against :data:`ENGINE_BACKENDS` without importing it.
+    """Check ``name`` against :data:`BACKEND_CHOICES` without importing it.
 
     Cheap enough for spec/engine constructors: availability of the array
     backend's numpy dependency is only checked when the backend is actually
-    resolved by :func:`get_backend`.
+    resolved by :func:`get_backend`.  ``"auto"`` validates (specs may carry
+    it) but :func:`get_backend` refuses it — resolution to a concrete
+    backend happens in :func:`repro.protocols.registry.resolve_backend`.
     """
-    if name not in ENGINE_BACKENDS:
-        known = ", ".join(ENGINE_BACKENDS)
+    if name not in BACKEND_CHOICES:
+        known = ", ".join(BACKEND_CHOICES)
         raise ValueError(f"unknown engine backend {name!r}; known backends: {known}")
     return name
 
@@ -54,11 +69,19 @@ def validate_backend(name: str) -> str:
 def get_backend(name: str) -> ExecutionBackend:
     """Resolve a backend name to its (shared, stateless) instance.
 
-    Raises :class:`ValueError` for unknown names and
+    Raises :class:`ValueError` for unknown names (and for ``"auto"``, which
+    must be resolved to a concrete backend first) and
     :class:`BackendUnavailableError` when the ``array`` backend is requested
     without numpy installed.
     """
     validate_backend(name)
+    if name == "auto":
+        raise ValueError(
+            "engine backend 'auto' must be resolved to a concrete backend "
+            "before execution; resolve the spec first with "
+            "repro.protocols.registry.resolve_backend (the CLI and campaign "
+            "planner do this automatically)"
+        )
     instance = _INSTANCES.get(name)
     if instance is not None:
         return instance
@@ -83,6 +106,7 @@ def get_backend(name: str) -> ExecutionBackend:
 
 
 __all__ = [
+    "BACKEND_CHOICES",
     "BackendCompileError",
     "BackendError",
     "BackendUnavailableError",

@@ -27,38 +27,70 @@ the compilable subset of experiments:
   membership mask; per-step satisfaction counts are a cumulative sum over
   the segment's mask deltas, and the stability-window streak is scanned
   vectorially.  Counts-only runs materialise no per-step objects at all.
+* **Compiled adversary schedules** — the catalog omission adversaries
+  (Bounded, NO, NO1, UO) speak the content-free columnar
+  :meth:`~repro.adversary.omission.OmissionAdversary.plan_chunk_schedule_columns`
+  protocol: per chunk they return gap positions plus kept injections as
+  raw index lists, which one vectorized ``np.insert`` merges into the
+  scheduler's index arrays.  Omissive transitions come from per-omission-kind table stacks
+  tabulated at compile time, so injected interactions ride the same
+  gather/scatter as scheduled ones.  The adversary's RNG and budget
+  consumption is bit-identical to the python backend's plan walk.
+* **Columnar ring traces** — under ``--trace-policy ring`` a rolling
+  int64 buffer keeps the last ``K`` steps as code rows (agents, omission
+  kind, pre/post codes), recorded per segment with two fancy-indexed
+  writes and decoded through the :class:`StateInterner` only at dump
+  time — crash forensics at n = 10^6 without per-step objects.
 
-Equivalence contract (pinned by ``tests/test_array_backend.py``):
+Equivalence contract (pinned by ``tests/test_array_backend.py`` and
+``tests/test_array_adversary_equivalence.py``):
 
-* the backend draws from its own seeded ``PCG64`` streams — bitwise parity
-  with the python backend's ``random.Random`` streams is out of scope;
+* the backend draws scheduler pairs from its own seeded ``PCG64`` streams —
+  bitwise parity with the python backend's ``random.Random`` scheduler
+  streams is out of scope — but adversary injections replay the *same*
+  seeded ``random.Random`` walk as the python backend, so adversary RNG
+  and budget end states match bit for bit;
 * runs are bitwise self-reproducible (same seed, same result) and
   chunk-size independent (``chunk_size`` is purely a performance knob);
 * budget, stop-condition and stability-window semantics are *exactly* the
   python backend's: a run stops after the first step whose configuration
   completes the required streak, and otherwise executes exactly
   ``max_steps`` interactions;
-* on deterministic schedulers (round-robin) results agree with the python
-  backend bit for bit; on random schedulers they agree distributionally.
+* on deterministic schedulers (round-robin) results — final
+  configurations, step counts, omission counts, decoded ring windows —
+  agree with the python backend bit for bit; on random schedulers they
+  agree distributionally.
 
 Everything non-compilable — unbounded state spaces, scripted/weighted
-schedulers, omission adversaries with a live budget, arbitrary
-stop conditions and predicates, trace policies other than ``counts-only``
-— raises :class:`~repro.engine.backends.base.BackendCompileError` naming
-the ingredient, so callers can fall back to the python backend.
+schedulers, adversaries outside the catalog classes, arbitrary
+stop conditions and predicates, the ``full`` trace policy — raises
+:class:`~repro.engine.backends.base.BackendCompileError` naming the first
+failing ingredient and the flag that avoids it, so callers can fall back
+to the python backend.  :func:`probe_compile` runs the same checks
+without executing anything, returning the would-be error message — the
+``auto`` backend resolution (:func:`repro.protocols.registry.resolve_backend`)
+and ``repro list``'s array-compilable column are built on it.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.adversary.omission import NoOmissionAdversary
+from repro.adversary.omission import (
+    BoundedOmissionAdversary,
+    NO1Adversary,
+    NOAdversary,
+    NoOmissionAdversary,
+    UOAdversary,
+)
 from repro.engine.backends.base import BackendCompileError, ExecutionBackend
 from repro.engine.convergence import ConvergenceResult
 from repro.engine.fastpath import RunResult
+from repro.engine.trace import TraceStep
+from repro.interaction.omissions import NO_OMISSION, Omission
 from repro.protocols.protocol import ProtocolError
 from repro.protocols.state import (
     ArrayConfiguration,
@@ -67,6 +99,7 @@ from repro.protocols.state import (
     StateInterner,
 )
 from repro.scheduling.array_draws import ArrayDrawKernel, compile_scheduler
+from repro.scheduling.runs import Interaction
 
 #: Scheduler pairs drawn per chunk.  Larger than the python backend's chunk:
 #: a chunk only bounds working-set size here, the real batching unit is the
@@ -114,7 +147,7 @@ def compile_program(program: Any, model: Any) -> CompiledProgram:
             f"program {type(program).__name__} exposes no state_order(); the "
             "array backend only runs programs with a finite, canonically "
             "ordered state space (all catalog protocols and the trivial "
-            "TW simulator qualify)"
+            "TW simulator qualify); run it with --engine-backend python"
         )
     try:
         states = tuple(order())
@@ -122,13 +155,13 @@ def compile_program(program: Any, model: Any) -> CompiledProgram:
         raise BackendCompileError(
             f"program {type(program).__name__} cannot be compiled for the "
             f"array backend: {error} (simulators with unbounded composite "
-            "state spaces need the python backend)"
+            "state spaces need --engine-backend python)"
         ) from None
     if len(states) > MAX_INTERNED_STATES:
         raise BackendCompileError(
             f"program {type(program).__name__} has {len(states)} states; the "
             f"array backend tabulates k^2 transitions and caps k at "
-            f"{MAX_INTERNED_STATES}"
+            f"{MAX_INTERNED_STATES}; run it with --engine-backend python"
         )
     interner = StateInterner(states)
     size = len(interner)
@@ -170,8 +203,8 @@ def _compile_predicate(
         raise BackendCompileError(
             f"predicate {type(predicate).__name__} cannot be compiled for "
             "the array backend; express it as a state-count predicate "
-            "(repro.engine.fastpath.AgentCountPredicate) or use the python "
-            "backend"
+            "(repro.engine.fastpath.AgentCountPredicate) or run it with "
+            "--engine-backend python"
         )
     satisfies, target = shape
     mask = np.fromiter(
@@ -182,22 +215,185 @@ def _compile_predicate(
     return mask, (population if target is None else int(target))
 
 
-def _check_run_request(
-    adversary: Optional[Any], trace_policy: str, max_steps: float
-) -> int:
-    """Validate the backend-independent run ingredients; returns the budget."""
-    if adversary is not None and not isinstance(adversary, NoOmissionAdversary):
+#: The adversary classes with an array lowering.  Exact types, not
+#: ``isinstance``: a subclass may override the per-step protocol in ways
+#: the schedule protocol does not mirror, so unknown subclasses fall back
+#: to the python backend instead of silently diverging.
+ARRAY_COMPILED_ADVERSARIES: Tuple[type, ...] = (
+    NoOmissionAdversary,
+    BoundedOmissionAdversary,
+    NO1Adversary,
+    NOAdversary,
+    UOAdversary,
+)
+
+
+class CompiledAdversary:
+    """An omission adversary lowered to per-kind transition table stacks.
+
+    ``starter_stack[row]`` / ``reactor_stack[row]`` are flat ``(k*k,)``
+    post-code tables: row 0 is the omission-free table (shared with the
+    :class:`CompiledProgram`), row ``kind_row[omission]`` the table of that
+    omissive kind.  A merged chunk executes with one 2-D gather
+    ``stack[kinds, flat]``; pass-through chunks keep the 1-D hot path.
+    The live ``adversary`` object supplies the per-chunk
+    :class:`~repro.adversary.omission.ColumnSchedule` (its RNG/budget
+    state advances exactly as on the python backend).
+    """
+
+    __slots__ = ("adversary", "kind_row", "kind_omissions", "starter_stack", "reactor_stack")
+
+    def __init__(self, adversary: Any, kind_row: Dict[Omission, int],
+                 kind_omissions: Tuple[Omission, ...],
+                 starter_stack: np.ndarray, reactor_stack: np.ndarray) -> None:
+        self.adversary = adversary
+        self.kind_row = kind_row
+        self.kind_omissions = kind_omissions
+        self.starter_stack = starter_stack
+        self.reactor_stack = reactor_stack
+
+
+def compile_adversary(
+    adversary: Optional[Any], program: Any, model: Any, compiled: CompiledProgram
+) -> Optional[CompiledAdversary]:
+    """Lower ``adversary`` to per-omission-kind table stacks (``None``: no-op).
+
+    Raises :class:`BackendCompileError` for adversary classes without an
+    array lowering and for omissive transitions that leave the declared
+    state space.
+    """
+    if adversary is None or type(adversary) is NoOmissionAdversary:
+        return None
+    if type(adversary) not in ARRAY_COMPILED_ADVERSARIES:
         raise BackendCompileError(
-            f"adversary {type(adversary).__name__} cannot be compiled for "
-            "the array backend (omission injection draws from per-step "
-            "Python RNG state); run adversarial experiments on the python "
-            "backend"
+            f"adversary {type(adversary).__name__} has no array lowering "
+            "(the array backend compiles the catalog adversaries: "
+            "NoOmission, Bounded, NO, NO1, UO); run it with "
+            "--engine-backend python"
         )
-    if trace_policy != "counts-only":
+    kinds = tuple(adversary._omissive_kinds)
+    size = compiled.size
+    starter_stack = np.empty((1 + len(kinds), size * size), dtype=np.int32)
+    reactor_stack = np.empty((1 + len(kinds), size * size), dtype=np.int32)
+    starter_stack[0] = compiled.delta_starter
+    reactor_stack[0] = compiled.delta_reactor
+    apply = model.apply
+    encode = compiled.interner.encode
+    states = compiled.interner.states
+    for row, omission in enumerate(kinds, start=1):
+        for i, starter in enumerate(states):
+            base = i * size
+            for j, reactor in enumerate(states):
+                starter_post, reactor_post = apply(program, starter, reactor, omission)
+                try:
+                    starter_stack[row, base + j] = encode(starter_post)
+                    reactor_stack[row, base + j] = encode(reactor_post)
+                except InterningError:
+                    raise BackendCompileError(
+                        f"omissive transition ({starter!r}, {reactor!r}) "
+                        f"under {omission} of program "
+                        f"{type(program).__name__} leaves its declared "
+                        "state space; the array backend requires closed "
+                        "omissive transition tables (run it with "
+                        "--engine-backend python)"
+                    ) from None
+    kind_row = {omission: row for row, omission in enumerate(kinds, start=1)}
+    return CompiledAdversary(
+        adversary, kind_row, (NO_OMISSION,) + kinds, starter_stack, reactor_stack
+    )
+
+
+#: Default crash-dump window under ``--trace-policy ring`` (the python
+#: backend's :func:`~repro.engine.fastpath.make_recorder` default).
+DEFAULT_RING_SIZE = 64
+
+#: Columns of the ring buffer's code rows.
+_RING_COLUMNS = 7  # starter agent, reactor agent, kind row, s_pre, r_pre, s_post, r_post
+
+
+class _RingBuffer:
+    """Rolling columnar window over the last ``capacity`` executed steps.
+
+    Rows are int64 code septuples (agents, omission-kind row, pre/post
+    codes for both participants) written per collision-free segment with
+    two fancy-indexed assignments; nothing is decoded until
+    :meth:`last_steps` renders the window as the python backend's
+    :class:`~repro.engine.trace.TraceStep` tuple (bit-identical on
+    deterministic schedulers).
+    """
+
+    __slots__ = ("capacity", "buffer", "count")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("ring_size must be at least 1")
+        self.capacity = capacity
+        self.buffer = np.empty((capacity, _RING_COLUMNS), dtype=np.int64)
+        self.count = 0
+
+    def record(
+        self,
+        starter_idx: np.ndarray,
+        reactor_idx: np.ndarray,
+        kinds: Optional[np.ndarray],
+        starter_pre: np.ndarray,
+        reactor_pre: np.ndarray,
+        starter_post: np.ndarray,
+        reactor_post: np.ndarray,
+    ) -> None:
+        """Append one executed segment (only its last ``capacity`` steps land)."""
+        length = len(starter_idx)
+        if length == 0:
+            return
+        capacity = self.capacity
+        offset = length - capacity if length > capacity else 0
+        rows = (self.count + np.arange(offset, length, dtype=np.int64)) % capacity
+        buffer = self.buffer
+        buffer[rows, 0] = starter_idx[offset:]
+        buffer[rows, 1] = reactor_idx[offset:]
+        buffer[rows, 2] = 0 if kinds is None else kinds[offset:]
+        buffer[rows, 3] = starter_pre[offset:]
+        buffer[rows, 4] = reactor_pre[offset:]
+        buffer[rows, 5] = starter_post[offset:]
+        buffer[rows, 6] = reactor_post[offset:]
+        self.count += length
+
+    def last_steps(
+        self, interner: StateInterner, kind_omissions: Tuple[Omission, ...]
+    ) -> Tuple[TraceStep, ...]:
+        """Decode the window, oldest first, through the interner."""
+        used = self.count if self.count < self.capacity else self.capacity
+        if used == 0:
+            return ()
+        first = self.count - used
+        rows = (first + np.arange(used, dtype=np.int64)) % self.capacity
+        data = self.buffer[rows]
+        states = interner.states
+        steps = []
+        for offset in range(used):
+            starter, reactor, kind, s_pre, r_pre, s_post, r_post = (
+                int(value) for value in data[offset]
+            )
+            steps.append(TraceStep(
+                index=first + offset,
+                interaction=Interaction(
+                    starter, reactor, omission=kind_omissions[kind]),
+                starter_pre=states[s_pre],
+                starter_post=states[s_post],
+                reactor_pre=states[r_pre],
+                reactor_post=states[r_post],
+            ))
+        return tuple(steps)
+
+
+def _check_run_request(trace_policy: str, max_steps: float) -> int:
+    """Validate the backend-independent run ingredients; returns the budget."""
+    if trace_policy not in ("counts-only", "ring"):
         raise BackendCompileError(
             f"trace policy {trace_policy!r} is not supported by the array "
-            "backend (per-step records would defeat columnar execution); "
-            "use --trace-policy counts-only or the python backend"
+            "backend (full per-step records would defeat columnar "
+            "execution); use --trace-policy counts-only (or ring for crash "
+            "dumps) or --engine-backend python"
         )
     if not math.isfinite(max_steps) or max_steps < 0:
         raise BackendCompileError(
@@ -291,6 +487,41 @@ class _CountStreakTracker:
         return None
 
 
+def _merge_injections(
+    schedule: Any,
+    starters: np.ndarray,
+    reactors: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+    """Merge a :class:`ColumnSchedule` into a chunk's index arrays.
+
+    ``np.insert`` with repeated positions inserts values in order at each
+    position, which is exactly the schedule's contract (injections execute
+    before their scheduled gap, in production order).  The schedule's kind
+    indices follow the adversary's omissive-kind tuple — the same order
+    :func:`compile_adversary` stacked the tables in — so table-stack row is
+    kind index + 1.  Returns the merged ``(starters, reactors, kinds)``
+    with ``kinds[t]`` the table-stack row of step ``t`` (0 =
+    scheduled/omission-free); ``kinds`` is ``None`` for pass-through
+    chunks so the caller keeps the 1-D gather hot path.
+    """
+    consumed = schedule.consumed
+    if consumed < len(starters):
+        starters = starters[:consumed]
+        reactors = reactors[:consumed]
+    if not schedule.starters:
+        return starters, reactors, None
+    positions = np.asarray(schedule.positions, dtype=np.int64)
+    inj_starters = np.asarray(schedule.starters, dtype=np.int64)
+    inj_reactors = np.asarray(schedule.reactors, dtype=np.int64)
+    inj_kinds = np.asarray(schedule.kinds, dtype=np.int64) + 1
+    merged_starters = np.insert(np.asarray(starters, dtype=np.int64),
+                                positions, inj_starters)
+    merged_reactors = np.insert(np.asarray(reactors, dtype=np.int64),
+                                positions, inj_reactors)
+    kinds = np.insert(np.zeros(consumed, dtype=np.int64), positions, inj_kinds)
+    return merged_starters, merged_reactors, kinds
+
+
 def _run_columnar(
     codes: np.ndarray,
     kernel: ArrayDrawKernel,
@@ -298,36 +529,61 @@ def _run_columnar(
     max_steps: int,
     chunk_size: int,
     tracker: Optional[_CountStreakTracker] = None,
-) -> Tuple[int, bool]:
+    adversary: Optional[CompiledAdversary] = None,
+    ring: Optional[_RingBuffer] = None,
+) -> Tuple[int, int, bool]:
     """Execute up to ``max_steps`` interactions against ``codes`` in place.
 
-    Returns ``(executed, stopped)`` with the exact semantics of
+    Returns ``(executed, omissions, stopped)`` with the exact semantics of
     :func:`repro.engine.fastpath.run_core`: chunks are clipped to the
-    remaining budget, and a streak hit stops the run immediately after the
-    completing step (later draws of the chunk are discarded unexecuted).
+    remaining budget, adversary injections (planned per chunk through the
+    content-free schedule protocol) execute before their scheduled
+    interaction and count towards the budget, and a streak hit stops the
+    run immediately after the completing step (later draws of the chunk
+    are discarded unexecuted).  The scheduler stream advances by *drawn*
+    interactions — one chunk of ``k`` draws per iteration — matching the
+    python loop's ``scheduler_step`` accounting under injections.
     """
     if chunk_size < 1:
         raise ValueError("chunk_size must be at least 1")
     size = compiled.size
     delta_starter = compiled.delta_starter
     delta_reactor = compiled.delta_reactor
+    n = len(codes)
     executed = 0
+    scheduler_step = 0
+    omissions = 0
     while executed < max_steps:
         remaining = max_steps - executed
         k = chunk_size if remaining > chunk_size else remaining
-        starters, reactors = kernel.draw(executed, k)
+        starters, reactors = kernel.draw(scheduler_step, k)
+        scheduler_step += k
+        kinds = None
+        injected = 0
+        if adversary is not None:
+            schedule = adversary.adversary.plan_chunk_schedule_columns(
+                scheduler_step - k, k, n, remaining)
+            injected = len(schedule.starters)
+            starters, reactors, kinds = _merge_injections(
+                schedule, starters, reactors)
+        total = len(starters)
         horizon = _per_step_collision_horizon(starters, reactors)
         start = 0
-        while start < k:
+        while start < total:
             conflicts = np.nonzero(horizon[start:] >= start)[0]
-            end = start + int(conflicts[0]) if conflicts.size else k
+            end = start + int(conflicts[0]) if conflicts.size else total
             starter_idx = starters[start:end]
             reactor_idx = reactors[start:end]
+            seg_kinds = kinds[start:end] if kinds is not None else None
             starter_pre = codes[starter_idx]
             reactor_pre = codes[reactor_idx]
             flat = starter_pre * size + reactor_pre
-            starter_post = delta_starter[flat]
-            reactor_post = delta_reactor[flat]
+            if seg_kinds is None:
+                starter_post = delta_starter[flat]
+                reactor_post = delta_reactor[flat]
+            else:
+                starter_post = adversary.starter_stack[seg_kinds, flat]
+                reactor_post = adversary.reactor_stack[seg_kinds, flat]
             if tracker is not None:
                 stop_at = tracker.scan(
                     starter_pre, reactor_pre, starter_post, reactor_post
@@ -336,12 +592,25 @@ def _run_columnar(
                     keep = stop_at + 1
                     codes[starter_idx[:keep]] = starter_post[:keep]
                     codes[reactor_idx[:keep]] = reactor_post[:keep]
-                    return executed + start + keep, True
+                    if ring is not None:
+                        ring.record(
+                            starter_idx[:keep], reactor_idx[:keep],
+                            None if seg_kinds is None else seg_kinds[:keep],
+                            starter_pre[:keep], reactor_pre[:keep],
+                            starter_post[:keep], reactor_post[:keep])
+                    if kinds is not None:
+                        omissions += int((kinds[:start + keep] != 0).sum())
+                    return executed + start + keep, omissions, True
             codes[starter_idx] = starter_post
             codes[reactor_idx] = reactor_post
+            if ring is not None:
+                ring.record(starter_idx, reactor_idx, seg_kinds,
+                            starter_pre, reactor_pre,
+                            starter_post, reactor_post)
             start = end
-        executed += k
-    return executed, False
+        omissions += injected
+        executed += total
+    return executed, omissions, False
 
 
 # ---------------------------------------------------------------------------
@@ -374,7 +643,8 @@ class ArrayBackend(ExecutionBackend):
             )
         except InterningError as error:
             raise BackendCompileError(
-                f"initial configuration cannot be interned: {error}"
+                f"initial configuration cannot be interned for the array "
+                f"backend: {error}; run it with --engine-backend python"
             ) from None
         return compiled, kernel, codes
 
@@ -407,29 +677,49 @@ class ArrayBackend(ExecutionBackend):
         ring_size: Optional[int] = None,
         chunk_size: Optional[int] = None,
     ) -> RunResult:
-        budget = _check_run_request(adversary, trace_policy, max_steps)
+        budget = _check_run_request(trace_policy, max_steps)
         if stop_condition is not None:
             raise BackendCompileError(
                 "arbitrary stop conditions cannot be compiled for the array "
                 "backend; use run_until_stable with a state-count predicate "
-                "or the python backend"
+                "or --engine-backend python"
             )
         compiled, kernel, codes = self._compile_run(
             program, model, scheduler, initial_configuration
         )
-        executed, _stopped = _run_columnar(
+        compiled_adversary = compile_adversary(adversary, program, model, compiled)
+        ring = None
+        if trace_policy == "ring":
+            ring = _RingBuffer(ring_size if ring_size is not None else DEFAULT_RING_SIZE)
+        executed, omissions, _stopped = _run_columnar(
             codes, kernel, compiled, budget,
             chunk_size if chunk_size is not None else DEFAULT_ARRAY_CHUNK,
+            adversary=compiled_adversary,
+            ring=ring,
         )
         return RunResult(
-            policy="counts-only",
+            policy=trace_policy,
             steps=executed,
-            omissions=0,
+            omissions=omissions,
             final_configuration=self._freeze(codes, compiled.interner),
             trace=None,
-            last_steps=(),
+            last_steps=self._dump_ring(ring, compiled, compiled_adversary),
             stopped=False,
         )
+
+    @staticmethod
+    def _dump_ring(
+        ring: Optional[_RingBuffer],
+        compiled: CompiledProgram,
+        compiled_adversary: Optional[CompiledAdversary],
+    ) -> Tuple[TraceStep, ...]:
+        if ring is None:
+            return ()
+        kind_omissions = (
+            (NO_OMISSION,) if compiled_adversary is None
+            else compiled_adversary.kind_omissions
+        )
+        return ring.last_steps(compiled.interner, kind_omissions)
 
     def run_until_stable(
         self,
@@ -446,10 +736,11 @@ class ArrayBackend(ExecutionBackend):
         ring_size: Optional[int] = None,
         chunk_size: Optional[int] = None,
     ) -> ConvergenceResult:
-        budget = _check_run_request(adversary, trace_policy, max_steps)
+        budget = _check_run_request(trace_policy, max_steps)
         compiled, kernel, codes = self._compile_run(
             program, model, scheduler, initial_configuration
         )
+        compiled_adversary = compile_adversary(adversary, program, model, compiled)
         mask, target_count = _compile_predicate(
             predicate, compiled.interner, len(codes)
         )
@@ -468,13 +759,18 @@ class ArrayBackend(ExecutionBackend):
                 last_steps=(),
             )
 
+        ring = None
+        if trace_policy == "ring":
+            ring = _RingBuffer(ring_size if ring_size is not None else DEFAULT_RING_SIZE)
         tracker = _CountStreakTracker(
             mask, target_count, streak_target, count, consecutive
         )
-        executed, stopped = _run_columnar(
+        executed, omissions, stopped = _run_columnar(
             codes, kernel, compiled, budget,
             chunk_size if chunk_size is not None else DEFAULT_ARRAY_CHUNK,
             tracker=tracker,
+            adversary=compiled_adversary,
+            ring=ring,
         )
         # The loop stops at the exact step whose configuration completes the
         # streak, so the first configuration of the stable streak is fixed
@@ -486,6 +782,45 @@ class ArrayBackend(ExecutionBackend):
             steps_to_convergence=executed - streak_target + 1 if converged else None,
             trace=None,
             final=self._freeze(codes, compiled.interner),
-            omissions=0,
-            last_steps=(),
+            omissions=omissions,
+            last_steps=self._dump_ring(ring, compiled, compiled_adversary),
         )
+
+
+# ---------------------------------------------------------------------------
+# compile probing (auto backend selection, `repro list` coverage column)
+# ---------------------------------------------------------------------------
+
+
+def probe_compile(
+    program: Any,
+    model: Any,
+    *,
+    scheduler: Optional[Any] = None,
+    adversary: Optional[Any] = None,
+    predicate: Any = None,
+    population: int = 2,
+    trace_policy: str = "counts-only",
+) -> Optional[str]:
+    """Would this experiment compile for the array backend?
+
+    Runs the same compilation passes as a real run — program tables,
+    scheduler draw kernel, adversary lowering, predicate mask, trace
+    policy — without executing anything, and returns ``None`` (compiles)
+    or the first :class:`BackendCompileError` message (the exact error a
+    run would raise, naming the failing ingredient and the fixing flag).
+    Ingredients passed as ``None`` are skipped, so callers can probe a
+    single registry entry in isolation.
+    """
+    try:
+        compiled = compile_program(program, model)
+        if scheduler is not None:
+            compile_scheduler(scheduler)
+        if adversary is not None:
+            compile_adversary(adversary, program, model, compiled)
+        if predicate is not None:
+            _compile_predicate(predicate, compiled.interner, population)
+        _check_run_request(trace_policy, 0)
+    except BackendCompileError as error:
+        return str(error)
+    return None

@@ -13,9 +13,14 @@ the budget, stop-condition and trace-policy contract documented in
 ``array`` (:mod:`repro.engine.backends.array_backend`)
     Opt-in columnar execution over numpy arrays of interned state codes for
     protocols with small finite state spaces.  Much faster for huge
-    populations, but only for the *compilable* subset of experiments; a
+    populations — including adversary runs (the catalog adversaries compile
+    to injection schedules) and ``ring`` crash dumps (a columnar rolling
+    buffer) — but only for the *compilable* subset of experiments; a
     request outside that subset raises :class:`BackendCompileError` naming
-    the offending ingredient.
+    the first offending ingredient and the flag that avoids it.  The same
+    compile checks back ``probe_compile``, which
+    :func:`repro.protocols.registry.resolve_backend` uses to resolve the
+    ``"auto"`` pseudo-backend to the fastest backend that compiles.
 
 Both backends expose the same two entry points, mirroring
 :meth:`~repro.engine.engine.SimulationEngine.execute` and

@@ -58,6 +58,10 @@ class SimulationEngine:
         :class:`~repro.engine.backends.base.BackendCompileError` for
         ingredients it cannot compile.  The name is validated here; the
         backend itself (and its numpy dependency) is resolved per run.
+        The pseudo-backend ``"auto"`` is rejected: the engine cannot know
+        the run's trace policy or predicate up front, so ``"auto"`` must be
+        resolved to a concrete backend first
+        (:func:`repro.protocols.registry.resolve_backend`).
     """
 
     def __init__(
@@ -72,6 +76,14 @@ class SimulationEngine:
         self.model = model
         self.scheduler = scheduler
         self.adversary = adversary
+        if backend == "auto":
+            raise EngineError(
+                "SimulationEngine does not accept backend='auto': resolution "
+                "depends on the run's trace policy and predicate, which the "
+                "engine cannot know at construction time; resolve the spec "
+                "first with repro.protocols.registry.resolve_backend (the "
+                "CLI and campaign planner do this automatically)"
+            )
         self.backend = validate_backend(backend)
 
     # -- single-interaction execution -------------------------------------------------------
@@ -138,9 +150,10 @@ class SimulationEngine:
         :mod:`repro.engine.fastpath` for the full contract.
 
         The run executes on the engine's configured backend; on the
-        ``array`` backend only the compilable subset is accepted (no
-        adversary or stop condition, ``counts-only`` trace policy) and
-        anything else raises
+        ``array`` backend only the compilable subset is accepted (catalog
+        adversaries compile via injection schedules, ``counts-only`` and
+        ``ring`` trace policies are supported, stop conditions must be
+        count-expressible predicates) and anything else raises
         :class:`~repro.engine.backends.base.BackendCompileError`.
         """
         if max_steps < 0:

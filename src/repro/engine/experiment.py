@@ -46,7 +46,7 @@ from repro.engine.convergence import ConvergenceResult, run_until_stable
 from repro.engine.engine import SimulationEngine
 from repro.engine.fastpath import IncrementalPredicate
 from repro.interaction.models import InteractionModel
-from repro.protocols.registry import ExperimentSpec, build_cached
+from repro.protocols.registry import ExperimentSpec, build_cached, resolved_spec
 from repro.protocols.state import Configuration
 from repro.scheduling.scheduler import RandomScheduler
 
@@ -160,7 +160,13 @@ def run_spec(
     :mod:`repro.engine.fastpath`), so an instance carried over from such a
     run would start the next run from a drifted position.  Pinned by
     ``tests/test_experiment_fresh_state.py``.
+
+    A spec still carrying ``backend="auto"`` is resolved here as a last
+    line of defence (the CLI and campaign planner resolve earlier, before
+    any hashing); resolution is deterministic in the spec and trace policy,
+    so every worker pins the same concrete backend.
     """
+    spec, _ = resolved_spec(spec, trace_policy)
     built = build_cached(spec)
     seed = base_seed + run_index
     engine = SimulationEngine(
@@ -329,6 +335,12 @@ def repeat_experiment(
     policy = trace_policy if trace_policy is not None else (
         "full" if validate is not None else "counts-only"
     )
+
+    if spec is not None and spec.backend == "auto":
+        # Resolve once up front (against the run's actual trace policy) so
+        # every fan-out mode — sequential, thread, process, any run_chunk —
+        # executes the same concrete backend.
+        spec, _ = resolved_spec(spec, policy)
 
     if spec is not None:
         def execute_run(run_index: int) -> ConvergenceResult:

@@ -45,8 +45,8 @@ imported, entry-point-registered keys resolve in process-pool workers too.
 from __future__ import annotations
 
 import importlib.metadata
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, Iterable, List, NamedTuple, Optional, Tuple
 
 from repro.adversary.omission import (
     BoundedOmissionAdversary,
@@ -55,7 +55,7 @@ from repro.adversary.omission import (
     UOAdversary,
 )
 from repro.core.naming import KnownSizeSimulator
-from repro.engine.backends import validate_backend
+from repro.engine.backends import BackendUnavailableError, get_backend, validate_backend
 from repro.engine.fastpath import AgentCountPredicate
 from repro.core.sid import SIDSimulator
 from repro.core.skno import SKnOSimulator
@@ -344,7 +344,12 @@ class ExperimentSpec:
     (:data:`repro.engine.backends.ENGINE_BACKENDS`) each run's engine is
     built with.  Like every other field it is plain data, so it pickles
     across the process fan-out and workers resolve the backend — including
-    its numpy dependency for ``"array"`` — locally.
+    its numpy dependency for ``"array"`` — locally.  The pseudo-backend
+    ``"auto"`` is accepted as spec data but must be pinned to a concrete
+    backend via :func:`resolve_backend` / :func:`resolved_spec` before the
+    spec reaches an engine — the experiment runner and campaign planner do
+    this up front (before cell hashing), so content addresses and resumes
+    never depend on which machine resolved the spec.
     """
 
     protocol: str
@@ -456,6 +461,100 @@ def build_cached(spec: ExperimentSpec) -> BuiltExperiment:
     if built is None:
         built = _BUILD_CACHE[spec] = spec.build()
     return built
+
+
+# ---------------------------------------------------------------------------
+# automatic backend selection
+# ---------------------------------------------------------------------------
+
+
+class BackendResolution(NamedTuple):
+    """Outcome of resolving a spec's ``"auto"`` backend to a concrete one.
+
+    ``backend`` is a member of
+    :data:`repro.engine.backends.ENGINE_BACKENDS`; ``reason`` is ``None``
+    when the fastest backend compiled, else the human-readable
+    :class:`~repro.engine.backends.base.BackendCompileError` (or
+    numpy-unavailability) message explaining the fallback to ``python``.
+    Callers surface the reason instead of discarding it — auto selection
+    must never silently hide *why* a run is on the slow path.
+    """
+
+    backend: str
+    reason: Optional[str]
+
+
+#: Memoised resolutions: probing compiles the spec's program tables, so a
+#: campaign planning hundreds of cells over the same few specs should probe
+#: each distinct (spec, trace_policy) once.
+_RESOLUTION_CACHE: Dict[Tuple[ExperimentSpec, str], BackendResolution] = {}
+
+
+def resolve_backend(
+    spec: ExperimentSpec, trace_policy: str = "counts-only"
+) -> BackendResolution:
+    """Pin ``spec.backend == "auto"`` to the fastest backend that compiles.
+
+    Probes every ingredient of the experiment (program, scheduler,
+    adversary, predicate, trace policy) against the array backend's compile
+    checks (:func:`repro.engine.backends.array_backend.probe_compile`) and
+    returns ``array`` when everything compiles, else ``python`` with the
+    first compile error as the ``reason``.  A missing numpy installation is
+    itself a recorded reason, never an exception.
+
+    Non-``auto`` specs pass through unchanged (reason ``None``), so callers
+    may resolve unconditionally.  Resolution is deterministic in the spec
+    and trace policy — it never consults timings or machine load — which is
+    what keeps campaign cell hashes and resumes stable across machines with
+    the same install profile.
+
+    May raise the spec's own build errors (unknown keys, invalid models):
+    resolution builds the experiment once via :func:`build_cached`, sharing
+    the cache with the runs that follow.
+    """
+    if spec.backend != "auto":
+        return BackendResolution(spec.backend, None)
+    key = (spec, trace_policy)
+    cached = _RESOLUTION_CACHE.get(key)
+    if cached is not None:
+        return cached
+    try:
+        get_backend("array")
+    except BackendUnavailableError as error:
+        resolution = BackendResolution("python", str(error))
+        _RESOLUTION_CACHE[key] = resolution
+        return resolution
+    from repro.engine.backends.array_backend import probe_compile
+
+    built = build_cached(spec)
+    reason = probe_compile(
+        built.program,
+        built.model,
+        scheduler=built.make_scheduler(seed=0),
+        adversary=built.make_adversary(seed=0),
+        predicate=built.make_predicate(),
+        population=len(built.initial_configuration),
+        trace_policy=trace_policy,
+    )
+    resolution = BackendResolution("python" if reason else "array", reason)
+    _RESOLUTION_CACHE[key] = resolution
+    return resolution
+
+
+def resolved_spec(
+    spec: ExperimentSpec, trace_policy: str = "counts-only"
+) -> Tuple[ExperimentSpec, Optional[str]]:
+    """Return ``spec`` with ``"auto"`` replaced by its resolved backend.
+
+    Convenience wrapper over :func:`resolve_backend`: returns the (possibly
+    unchanged) spec plus the fallback reason, ``None`` when no fallback
+    happened.  The returned spec is safe to hand to engines, workers and
+    cell hashing.
+    """
+    if spec.backend != "auto":
+        return spec, None
+    resolution = resolve_backend(spec, trace_policy)
+    return replace(spec, backend=resolution.backend), resolution.reason
 
 
 # ---------------------------------------------------------------------------

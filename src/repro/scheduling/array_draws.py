@@ -149,5 +149,5 @@ def compile_scheduler(scheduler: Scheduler) -> ArrayDrawKernel:
     raise BackendCompileError(
         f"scheduler {kind.__name__} has no array draw kernel; the array "
         "backend supports RandomScheduler, the GraphScheduler family and "
-        "RoundRobinScheduler (use the python backend otherwise)"
+        "RoundRobinScheduler (run it with --engine-backend python otherwise)"
     )

@@ -1,0 +1,292 @@
+"""Equivalence suite for the adversary/array compile gap closed by the
+injection-schedule lowering.
+
+Four legs:
+
+1. **Protocol equivalence** (hypothesis): for every catalog adversary
+   class, under arbitrary chunkings and step budgets, the content-free
+   schedule protocol (``plan_chunk_schedule``) and its columnar form
+   (``plan_chunk_schedule_columns``) reconstruct exactly the batched plan
+   protocol (``plan_interactions``) — same interleaving, same
+   consumed/discarded arithmetic, same ``total_injected``, and a
+   bit-identical RNG end state after every chunk.
+2. **Engine bit-identity**: on the deterministic round-robin scheduler the
+   array and python backends execute the same interaction sequence, so
+   final configurations, step counts and omission counts must agree
+   bit for bit — for every adversary class, including budget exhaustion
+   mid-chunk and a stop condition firing mid-chunk.
+3. **Ring dumps**: under ``--trace-policy ring`` the array backend's
+   decoded crash window equals the python backend's interaction tail,
+   injected omissive steps included.
+4. **Auto-resolution determinism**: ``backend="auto"`` resolves at plan
+   time as a pure function of the spec, so campaign cell ids are identical
+   across repeated plannings and experiment results are identical across
+   fan-out modes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.omission import (
+    BoundedOmissionAdversary,
+    NO1Adversary,
+    NOAdversary,
+    NoOmissionAdversary,
+    UOAdversary,
+    _schedule_to_columns,
+)
+from repro.campaign.planner import plan_campaign
+from repro.campaign.spec import campaign_from_dict
+from repro.engine.convergence import run_until_stable
+from repro.engine.engine import SimulationEngine
+from repro.engine.experiment import repeat_experiment
+from repro.engine.fastpath import AgentCountPredicate
+from repro.protocols.state import Configuration
+from repro.interaction.models import get_model
+from repro.protocols.catalog.epidemic import (
+    INFORMED,
+    SUSCEPTIBLE,
+    OneWayEpidemicProtocol,
+)
+from repro.protocols.registry import ExperimentSpec, resolve_backend
+from repro.scheduling.runs import Interaction
+from repro.scheduling.scheduler import RoundRobinScheduler
+
+I3 = get_model("I3")
+
+ADVERSARY_KINDS = ("none", "bounded", "no", "no1", "uo")
+
+
+def make_adversary(kind: str, seed: int):
+    """One instance per catalog class, parameters chosen so every code path
+    (budget spend, active-prefix end, pinned gap, geometric flood) is hit
+    within a few hundred steps."""
+    if kind == "bounded":
+        return BoundedOmissionAdversary(I3, max_omissions=9, rate=0.4, seed=seed)
+    if kind == "no":
+        return NOAdversary(I3, active_steps=120, rate=0.3, max_per_gap=2, seed=seed)
+    if kind == "no1":
+        return NO1Adversary(I3, inject_at=37, seed=seed)
+    if kind == "uo":
+        return UOAdversary(I3, rate=0.25, max_per_gap=3, seed=seed)
+    return NoOmissionAdversary()
+
+
+def rng_state(adversary):
+    rng = getattr(adversary, "_rng", None)
+    return None if rng is None else rng.getstate()
+
+
+def kind_index_of(adversary) -> dict:
+    kinds = getattr(adversary, "_omissive_kinds", ())
+    return {kind: index for index, kind in enumerate(kinds)}
+
+
+# ---------------------------------------------------------------------------
+# 1. protocol equivalence: plan == schedule == columns, chunking-independent
+# ---------------------------------------------------------------------------
+
+
+def reconstruct(schedule, draws):
+    """Interleave an InjectionSchedule with its scheduled draws — the
+    inverse of the content-free contract."""
+    interactions = []
+    cursor = 0
+    for gap in range(schedule.consumed):
+        while cursor < len(schedule.positions) and schedule.positions[cursor] == gap:
+            interactions.append(schedule.injections[cursor])
+            cursor += 1
+        interactions.append(draws[gap])
+    assert cursor == len(schedule.positions)
+    return interactions
+
+
+class TestScheduleProtocolEquivalence:
+    @pytest.mark.parametrize("kind", ADVERSARY_KINDS)
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_schedule_and_columns_match_plan(self, kind, data):
+        n = data.draw(st.integers(min_value=2, max_value=40), label="n")
+        seed = data.draw(st.integers(min_value=0, max_value=999), label="seed")
+        budget = data.draw(
+            st.one_of(st.none(), st.integers(min_value=1, max_value=400)),
+            label="budget")
+        chunks = data.draw(
+            st.lists(st.integers(min_value=1, max_value=50), min_size=1,
+                     max_size=8),
+            label="chunks")
+
+        a_plan = make_adversary(kind, seed)
+        a_sched = make_adversary(kind, seed)
+        a_cols = make_adversary(kind, seed)
+        step = 0
+        remaining = budget
+        for count in chunks:
+            if remaining is not None and remaining < 1:
+                break
+            draws = [Interaction(i % n, (i + 1) % n if (i + 1) % n != i % n
+                                 else (i + 2) % n)
+                     for i in range(step, step + count)]
+            plan = a_plan.plan_interactions(step, draws, n, remaining)
+            schedule = a_sched.plan_chunk_schedule(step, count, n, remaining)
+            columns = a_cols.plan_chunk_schedule_columns(step, count, n, remaining)
+
+            assert reconstruct(schedule, draws) == plan.interactions
+            assert schedule.consumed == plan.consumed
+            assert schedule.discarded == plan.discarded
+            assert tuple(columns) == tuple(
+                _schedule_to_columns(schedule, kind_index_of(a_sched)))
+            assert rng_state(a_plan) == rng_state(a_sched) == rng_state(a_cols)
+            assert (getattr(a_plan, "total_injected", 0)
+                    == getattr(a_sched, "total_injected", 0)
+                    == getattr(a_cols, "total_injected", 0))
+
+            if remaining is not None:
+                remaining -= len(plan.interactions)
+            step += plan.consumed
+
+    @pytest.mark.parametrize("kind", ADVERSARY_KINDS)
+    def test_schedule_is_chunking_independent(self, kind):
+        """One 300-gap chunk and three 100-gap chunks produce the same
+        flattened schedule and the same adversary end state."""
+        whole = make_adversary(kind, 7)
+        split = make_adversary(kind, 7)
+        one = whole.plan_chunk_schedule(0, 300, 12, None)
+        flat_positions, flat_injections = [], []
+        step = 0
+        for _ in range(3):
+            part = split.plan_chunk_schedule(step, 100, 12, None)
+            flat_positions.extend(step + p for p in part.positions)
+            flat_injections.extend(part.injections)
+            step += part.consumed
+        assert one.positions == flat_positions
+        assert one.injections == flat_injections
+        assert one.consumed == step
+        assert rng_state(whole) == rng_state(split)
+
+
+# ---------------------------------------------------------------------------
+# 2. engine bit-identity on round-robin, per class × budget/stop mid-chunk
+# ---------------------------------------------------------------------------
+
+
+def run_both(kind: str, *, max_steps: int, stop: bool, chunk_size=None,
+             trace_policy: str = "counts-only", ring_size=None, n: int = 24):
+    outcomes = {}
+    for backend in ("python", "array"):
+        engine = SimulationEngine(
+            OneWayEpidemicProtocol(), I3, RoundRobinScheduler(n),
+            adversary=make_adversary(kind, 3), backend=backend)
+        initial = Configuration([INFORMED] + [SUSCEPTIBLE] * (n - 1))
+        if stop:
+            outcomes[backend] = run_until_stable(
+                engine, initial, AgentCountPredicate(lambda s: s == INFORMED),
+                max_steps, stability_window=2, trace_policy=trace_policy,
+                ring_size=ring_size, chunk_size=chunk_size)
+        else:
+            outcomes[backend] = engine.execute(
+                initial, max_steps, trace_policy=trace_policy,
+                ring_size=ring_size, chunk_size=chunk_size)
+    return outcomes["python"], outcomes["array"]
+
+
+class TestEngineBitIdentity:
+    @pytest.mark.parametrize("kind", ADVERSARY_KINDS)
+    def test_budget_exhaustion_mid_chunk(self, kind):
+        """An odd budget with an odd chunk size: the run ends inside a
+        chunk, with injections charged against the remaining budget."""
+        python, array = run_both(kind, max_steps=97, stop=False, chunk_size=7)
+        assert array.steps == python.steps == 97
+        assert array.omissions == python.omissions
+        assert tuple(array.final_configuration) == tuple(python.final_configuration)
+
+    @pytest.mark.parametrize("kind", ADVERSARY_KINDS)
+    def test_stop_condition_mid_chunk(self, kind):
+        """A count predicate firing inside a large chunk: both backends must
+        stop after the identical completing step."""
+        python, array = run_both(kind, max_steps=50_000, stop=True,
+                                 chunk_size=4096)
+        assert python.converged and array.converged
+        assert python.steps_executed < 50_000, "predicate must fire mid-run"
+        assert array.steps_executed == python.steps_executed
+        assert array.steps_to_convergence == python.steps_to_convergence
+        assert array.omissions == python.omissions
+        assert tuple(array.final_configuration) == tuple(python.final_configuration)
+
+
+# ---------------------------------------------------------------------------
+# 3. ring dumps: decoded array window == python interaction tail
+# ---------------------------------------------------------------------------
+
+
+class TestRingDumpEquality:
+    @pytest.mark.parametrize("kind", ADVERSARY_KINDS)
+    def test_ring_window_matches_python_tail(self, kind):
+        python, array = run_both(kind, max_steps=500, stop=False,
+                                 trace_policy="ring", ring_size=16)
+        assert len(array.last_steps) == 16
+        assert array.last_steps == python.last_steps
+
+    def test_ring_window_contains_injected_omissions(self):
+        """The decoded window must include omissive TraceSteps, not only
+        scheduled ones (UO floods enough to guarantee one in any window)."""
+        _, array = run_both("uo", max_steps=500, stop=False,
+                            trace_policy="ring", ring_size=32)
+        assert any(step.interaction.omission.is_omissive
+                   for step in array.last_steps
+                   if step.interaction.omission is not None)
+
+
+# ---------------------------------------------------------------------------
+# 4. auto-resolution determinism
+# ---------------------------------------------------------------------------
+
+
+def auto_campaign() -> dict:
+    return {
+        "name": "auto-grid",
+        "base": {"protocol": "epidemic", "backend": "auto", "model": "I3",
+                 "omissions": 2},
+        "axes": {"population": [6, 8]},
+        "runs": 2,
+        "base_seed": 5,
+        "max_steps": 10_000,
+        "stability_window": 4,
+    }
+
+
+class TestAutoResolutionDeterminism:
+    def test_resolution_is_a_pure_function_of_the_spec(self):
+        spec = ExperimentSpec(protocol="epidemic", population=8, model="I3",
+                              omissions=2, backend="auto")
+        first = resolve_backend(spec)
+        second = resolve_backend(spec)
+        assert first == second
+        assert first.backend == "array"
+
+    def test_cell_ids_stable_across_plannings(self):
+        baseline = plan_campaign(campaign_from_dict(auto_campaign()))
+        replanned = plan_campaign(campaign_from_dict(auto_campaign()))
+        assert baseline.cell_ids() == replanned.cell_ids()
+        assert baseline.campaign_hash == replanned.campaign_hash
+        # The cells genuinely resolved (identity pins the concrete backend).
+        for cell in baseline.cells:
+            assert dict(cell.fields)["backend"] == "array"
+
+    def test_results_identical_across_fanout_modes(self):
+        spec = ExperimentSpec(protocol="epidemic", population=8, model="I3",
+                              omissions=2, backend="auto")
+        results = [
+            repeat_experiment(spec=spec, runs=3, max_steps=5_000,
+                              stability_window=4, base_seed=1,
+                              jobs=jobs, jobs_backend=jobs_backend).to_dict()
+            for jobs, jobs_backend in
+            ((1, "thread"), (2, "thread"), (2, "process"))
+        ]
+        assert results[0] == results[1] == results[2]

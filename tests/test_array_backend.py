@@ -16,8 +16,11 @@ has four legs, each pinned here:
    different RNGs (``random.Random`` vs ``PCG64``), so convergence-step
    samples are compared with a rank-sum test (fixed seeds, deterministic).
 4. **Clear refusal** of everything non-compilable: unbounded programs,
-   unsupported schedulers, adversaries, non-count predicates, per-step
-   trace policies, arbitrary stop conditions.
+   unsupported schedulers, non-catalog adversary classes, non-count
+   predicates, the full trace policy, arbitrary stop conditions.
+   (Catalog adversaries and the ring trace policy compile since the
+   injection-schedule lowering; their equivalence suite lives in
+   ``tests/test_array_adversary_equivalence.py``.)
 
 Plus the new experiment surface: ``--engine-backend`` through the CLI, and
 ``ExperimentSpec.backend`` through the thread and process fan-outs.
@@ -415,23 +418,49 @@ class TestCompileErrors:
         with pytest.raises(BackendCompileError, match="no array draw kernel"):
             engine.execute(initial, 100, trace_policy="counts-only")
 
-    def test_adversary_is_refused(self):
+    def test_subclassed_adversary_is_refused(self):
+        # The catalog adversaries compile via injection schedules; dispatch
+        # is on the exact class, so a subclass (which may have overridden
+        # the injection law) must be refused with the fixing flag named.
         from repro.adversary.omission import BoundedOmissionAdversary
 
-        adversary = BoundedOmissionAdversary(get_model("I3"), max_omissions=1, seed=0)
+        class TweakedAdversary(BoundedOmissionAdversary):
+            pass
+
+        adversary = TweakedAdversary(get_model("I3"), max_omissions=1, seed=0)
         engine = SimulationEngine(
             OneWayEpidemicProtocol(), get_model("I3"),
             RandomScheduler(10, seed=0), adversary=adversary, backend="array")
-        with pytest.raises(BackendCompileError, match="adversar"):
+        with pytest.raises(BackendCompileError,
+                           match="no array lowering.*--engine-backend python"):
             engine.execute(
                 Configuration(["I"] + ["S"] * 9), 100,
                 trace_policy="counts-only")
 
-    @pytest.mark.parametrize("policy", ["full", "ring"])
-    def test_per_step_trace_policies_are_refused(self, policy):
+    def test_catalog_adversary_now_compiles(self):
+        from repro.adversary.omission import BoundedOmissionAdversary
+
+        adversary = BoundedOmissionAdversary(get_model("I3"), max_omissions=2, seed=0)
+        engine = SimulationEngine(
+            OneWayEpidemicProtocol(), get_model("I3"),
+            RandomScheduler(10, seed=0), adversary=adversary, backend="array")
+        outcome = engine.execute(
+            Configuration(["I"] + ["S"] * 9), 500, trace_policy="counts-only")
+        assert outcome.steps == 500
+        assert outcome.omissions == 2
+
+    def test_full_trace_policy_is_refused(self):
         engine, initial, _ = self._engine()
         with pytest.raises(BackendCompileError, match="counts-only"):
-            engine.execute(initial, 100, trace_policy=policy)
+            engine.execute(initial, 100, trace_policy="full")
+
+    def test_ring_trace_policy_now_compiles(self):
+        engine, initial, _ = self._engine()
+        outcome = engine.execute(
+            initial, 100, trace_policy="ring", ring_size=8)
+        assert outcome.policy == "ring"
+        assert len(outcome.last_steps) == 8
+        assert outcome.last_steps[-1].index == 99
 
     def test_stop_condition_is_refused(self):
         engine, initial, _ = self._engine()
@@ -586,10 +615,14 @@ class TestArrayBackendCLI:
                 "--engine-backend", "array", "--max-steps", "1000",
             ])
 
-    def test_omissions_fail_with_actionable_message(self):
+    def test_compile_error_names_the_first_failing_component(self):
+        # Adversaries compile now, so the first failing component of this
+        # run is the SKnO program (unbounded state space) — the message
+        # must name it, not a generic category.
         from repro.cli import main
 
-        with pytest.raises(SystemExit, match="adversar"):
+        with pytest.raises(SystemExit,
+                           match="SKnOSimulator.*unbounded.*--engine-backend python"):
             main([
                 "run", "--protocol", "leader-election", "--model", "I3",
                 "--simulator", "skno", "--omission-bound", "1",
