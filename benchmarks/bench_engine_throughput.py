@@ -55,12 +55,25 @@ python).  ``--json PATH`` appends the measured cell to a JSON file
 and ``uo`` CI invocations accumulate into one ``BENCH_array_adversary.json``
 artifact).
 
+``--transport`` runs the **result-transport** comparison instead: process
+fan-out (``jobs=2``, chunked workers) returning results over the
+shared-memory columnar transport versus the chunked-pickle baseline, on
+short counts-only epidemic runs (array engine backend) at n = 10^4 and
+10^5 — the regime where shipping a 10^5-state final configuration through
+the pickle pipe dominates the actual simulation.  Both transports must
+fold to the identical aggregate (checked every invocation).  Its guard: at
+n = 10^5 the shm transport must be **≥ 1.5x** chunked-pickle throughput
+(typically 2-4x; run in the CI numpy job).  ``--json PATH`` merges the
+guarded cell under the ``"transport"`` key (e.g. ``BENCH_transport.json``).
+
 Headline guards at n=10^4 in the default mode, failing the benchmark when
 they regress: ``counts-only`` must be ≥ 5x ``legacy`` and batched draws
 ≥ 1.3x per-step draws (both TW, no adversary; typically ~2x), and the
 batched adversary pipeline must be ≥ 1.3x its per-step control (I3,
 adversary attached; typically ~2x).  The guards are deliberately loose so
-shared-CI noise cannot fail an unrelated change.
+shared-CI noise cannot fail an unrelated change.  ``--json PATH`` merges
+the default mode's headline cells under the ``"engine-throughput"`` key
+(e.g. ``BENCH_engine_throughput.json``).
 """
 
 from __future__ import annotations
@@ -111,6 +124,14 @@ ARRAY_GUARD_FACTOR = 5.0
 #: Looser than the adversary-free guard because the injection-schedule walk
 #: itself runs in python (only the merge and execution are columnar).
 ADVERSARY_GUARD_FACTOR = 3.0
+
+#: The result-transport guard: at n=10^5, process fan-out over the
+#: shared-memory columnar transport must be ≥1.5x the chunked-pickle
+#: baseline on short counts-only runs.  Loose relative to the typical 2-4x
+#: so shared-CI noise cannot fail an unrelated change.
+TRANSPORT_GUARD_POPULATION = 100_000
+TRANSPORT_GUARD_FACTOR = 1.5
+TRANSPORT_SIZES = (10_000, 100_000)
 
 
 def build_adversary(kind: str, model, seed: int):
@@ -253,12 +274,12 @@ def run_backend_comparison(args) -> int:
     return 1 if failed else 0
 
 
-def _merge_bench_json(path: str, adversary_kind: str, payload: dict) -> None:
-    """Read-update-merge ``payload`` under ``adversary_kind`` into ``path``.
+def _merge_bench_json(path: str, key: str, payload: dict) -> None:
+    """Read-update-merge ``payload`` under ``key`` into ``path``.
 
-    Separate CI invocations (one per adversary class) accumulate into a
-    single artifact; a corrupt or missing file starts over rather than
-    failing the benchmark.
+    Separate CI invocations (one per adversary class, one per benchmark
+    mode) accumulate into a single artifact; a corrupt or missing file
+    starts over rather than failing the benchmark.
     """
     data: dict = {}
     if os.path.exists(path):
@@ -269,11 +290,11 @@ def _merge_bench_json(path: str, adversary_kind: str, payload: dict) -> None:
                 data = loaded
         except (OSError, ValueError):
             data = {}
-    data[adversary_kind] = payload
+    data[key] = payload
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(data, handle, indent=2, sort_keys=True)
         handle.write("\n")
-    print(f"wrote {path} [{adversary_kind}]")
+    print(f"wrote {path} [{key}]")
 
 
 def run_adversary_backend_comparison(args) -> int:
@@ -348,6 +369,99 @@ def run_adversary_backend_comparison(args) -> int:
     return 0
 
 
+def run_transport_comparison(args) -> int:
+    """``--transport``: shared-memory result transport vs. chunked pickle.
+
+    Process fan-out (``jobs=2``, ``run_chunk=8``) of short counts-only
+    epidemic runs on the array engine backend — the workload the transport
+    was built for: each run's payload is dominated by its final
+    configuration, which the pickle baseline ships as a 10^4-10^5-state
+    python object per run while the shm transport ships one fixed-width
+    int64 row per run in a per-batch arena (and, with
+    ``materialize_final=False`` riding along, never even materialises the
+    python object in the worker).  Both transports must fold to the same
+    aggregate; the guard holds at n=10^5 where the object detour is
+    largest.
+    """
+    try:
+        import numpy  # noqa: F401 - availability probe
+    except ImportError:
+        print("the --transport comparison runs its workload on the array "
+              "engine backend and needs numpy; install the fast extra "
+              "(pip install 'repro[fast]')", file=sys.stderr)
+        return 1
+    from repro.engine.experiment import repeat_experiment
+    from repro.protocols.registry import ExperimentSpec
+
+    sizes = args.sizes or list(TRANSPORT_SIZES)
+    if TRANSPORT_GUARD_POPULATION not in sizes:
+        sizes = sorted(sizes + [TRANSPORT_GUARD_POPULATION])
+    runs = 32 if args.quick else 96
+    max_steps = args.steps or 200
+    jobs, run_chunk = 2, 8
+
+    rows = []
+    guard_cell: Optional[dict] = None
+    for n in sizes:
+        spec = ExperimentSpec(
+            protocol="epidemic", population=n, model="TW", backend="array")
+        rates = {}
+        folded = {}
+        for transport in ("pickle", "shm"):
+            start = time.perf_counter()
+            result = repeat_experiment(
+                spec=spec, runs=runs, max_steps=max_steps, base_seed=0,
+                jobs=jobs, jobs_backend="process", run_chunk=run_chunk,
+                trace_policy="counts-only", result_transport=transport)
+            elapsed = time.perf_counter() - start
+            rates[transport] = runs / elapsed if elapsed > 0 else float("inf")
+            folded[transport] = result.to_dict()
+        if folded["pickle"] != folded["shm"]:
+            print(f"FAIL: shm and pickle transports folded to different "
+                  f"aggregates at n={n:,}", file=sys.stderr)
+            return 1
+        speedup = rates["shm"] / rates["pickle"]
+        if n == TRANSPORT_GUARD_POPULATION:
+            guard_cell = {
+                "protocol": "epidemic",
+                "model": "TW",
+                "engine_backend": "array",
+                "n": n,
+                "runs": runs,
+                "max_steps": max_steps,
+                "jobs": jobs,
+                "run_chunk": run_chunk,
+                "pickle_runs_per_s": round(rates["pickle"], 1),
+                "shm_runs_per_s": round(rates["shm"], 1),
+                "speedup": round(speedup, 2),
+                "guard_factor": TRANSPORT_GUARD_FACTOR,
+            }
+        rows.append([
+            n, runs, max_steps,
+            f"{rates['pickle']:,.1f}", f"{rates['shm']:,.1f}",
+            f"{speedup:.2f}x",
+        ])
+
+    print(format_table(
+        ["n", "runs", "max_steps", "pickle runs/s", "shm runs/s",
+         "shm vs pickle"],
+        rows,
+    ))
+    print()
+    assert guard_cell is not None
+    print(f"headline: the shm result transport is {guard_cell['speedup']:.2f}x "
+          f"chunked pickle at n={TRANSPORT_GUARD_POPULATION:,} "
+          f"(process fan-out, counts-only, array backend)")
+    if args.json:
+        _merge_bench_json(args.json, "transport", guard_cell)
+    if guard_cell["speedup"] < TRANSPORT_GUARD_FACTOR:
+        print(f"FAIL: expected the shm transport to be at least "
+              f"{TRANSPORT_GUARD_FACTOR:.1f}x chunked pickle at "
+              f"n={TRANSPORT_GUARD_POPULATION:,}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -365,12 +479,20 @@ def main(argv: Optional[list] = None) -> int:
                         help="python: the historical trace-policy comparison; "
                              "array: the execution-backend comparison with its "
                              "≥5x guard at n=100,000 (needs numpy)")
+    parser.add_argument("--transport", action="store_true",
+                        help="run the result-transport comparison instead: "
+                             "process fan-out over the shared-memory columnar "
+                             "transport vs chunked pickle, with its ≥1.5x "
+                             "guard at n=100,000 (needs numpy)")
     parser.add_argument("--json", metavar="PATH", default=None,
-                        help="adversary-on-array mode only: merge the guarded "
-                             "measurement into this JSON artifact "
-                             "(e.g. BENCH_array_adversary.json)")
+                        help="merge the mode's guarded measurement into this "
+                             "JSON artifact (e.g. BENCH_transport.json, "
+                             "BENCH_array_adversary.json, "
+                             "BENCH_engine_throughput.json)")
     args = parser.parse_args(argv)
 
+    if args.transport:
+        return run_transport_comparison(args)
     if args.backend == "array":
         if args.adversary is not None:
             return run_adversary_backend_comparison(args)
@@ -450,6 +572,21 @@ def main(argv: Optional[list] = None) -> int:
             print("FAIL: expected the batched adversary pipeline to be at least "
                   "1.3x per-step execution at n=10,000", file=sys.stderr)
             failed = True
+    if args.json and headline is not None:
+        _merge_bench_json(args.json, "engine-throughput", {
+            "n": 10_000,
+            "model": "TW",
+            "adversary": args.adversary,
+            "counts_only_vs_legacy": round(headline, 2),
+            "batched_vs_per_step": (
+                round(batch_headline, 2) if batch_headline is not None else None),
+            "adversary_batched_vs_per_step": (
+                round(adversary_batch_headline, 2)
+                if adversary_batch_headline is not None else None),
+            "guard_factors": {"counts_only_vs_legacy": 5.0,
+                              "batched_vs_per_step": 1.3,
+                              "adversary_batched_vs_per_step": 1.3},
+        })
     return 1 if failed else 0
 
 

@@ -5,10 +5,12 @@ content-addressed specs plus per-cell seed blocks make every cell a pure
 function of its own inputs, independent of every other cell.  This
 module overlaps pending cells across a thread pool — each worker runs
 one cell through :func:`~repro.campaign.runner.build_cell_record`, whose
-cell-internal fan-out (``jobs``/``jobs_backend``/``run_chunk``, the
-thread/process machinery of :mod:`repro.engine.experiment`) composes
-underneath, so ``--cell-jobs 4 --jobs 2 --backend process`` keeps four
-cells in flight with two worker processes each.
+cell-internal fan-out (``jobs``/``jobs_backend``/``run_chunk``/
+``result_transport``, the thread/process machinery of
+:mod:`repro.engine.experiment`) composes underneath, so ``--cell-jobs 4
+--jobs 2 --backend process`` keeps four cells in flight with two worker
+processes each — under the shm transport each cell's worker thread
+ingests its own arenas and still hands the main thread a plain record.
 
 Determinism under concurrency
 -----------------------------
@@ -77,6 +79,7 @@ def run_campaign_parallel(
     run_chunk: int = 1,
     max_cells: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
+    result_transport: str = "pickle",
 ) -> CampaignRunStatus:
     """Execute pending cells of ``plan`` over a ``cell_jobs``-wide pool.
 
@@ -119,7 +122,8 @@ def run_campaign_parallel(
                 for cell in selected:
                     future = pool.submit(
                         build_cell_record, cell, plan, jobs=jobs,
-                        jobs_backend=jobs_backend, run_chunk=run_chunk)
+                        jobs_backend=jobs_backend, run_chunk=run_chunk,
+                        result_transport=result_transport)
                     futures.append(future)
                     cell_of[future] = cell
                 try:

@@ -154,7 +154,8 @@ def _cell_record_header(cell: PlannedCell) -> dict:
 
 
 def _execute_cell(cell: PlannedCell, plan: CampaignPlan, *, jobs: int,
-                  jobs_backend: str, run_chunk: int) -> dict:
+                  jobs_backend: str, run_chunk: int,
+                  result_transport: str) -> dict:
     """Run one feasible cell and shape its persistent record."""
     campaign = plan.campaign
     record = _cell_record_header(cell)
@@ -170,6 +171,7 @@ def _execute_cell(cell: PlannedCell, plan: CampaignPlan, *, jobs: int,
             jobs_backend=jobs_backend,
             run_chunk=run_chunk,
             trace_policy="counts-only",
+            result_transport=result_transport,
         )
     except (BackendError, KeyError, TypeError, ValueError) as error:
         # Per-cell verdicts, not campaign aborts: backend compilation /
@@ -189,12 +191,17 @@ def _execute_cell(cell: PlannedCell, plan: CampaignPlan, *, jobs: int,
 
 
 def build_cell_record(cell: PlannedCell, plan: CampaignPlan, *, jobs: int = 1,
-                      jobs_backend: str = "thread", run_chunk: int = 1) -> dict:
+                      jobs_backend: str = "thread", run_chunk: int = 1,
+                      result_transport: str = "pickle") -> dict:
     """The persistent record for one planned cell: ``n/a`` or executed.
 
     A pure function of (cell, seed block, fan-out knobs) with no store
     access — which is what lets the parallel executor and the cell queue
     call it from worker threads while a single writer owns the store.
+    ``result_transport`` rides along with the other fan-out knobs
+    (mechanism only — records are byte-identical for every transport);
+    even under the shm transport the record returned here is plain data,
+    so the main thread stays the store's only appender.
     """
     if cell.skip_reason is not None:
         record = _cell_record_header(cell)
@@ -202,7 +209,7 @@ def build_cell_record(cell: PlannedCell, plan: CampaignPlan, *, jobs: int = 1,
         record["reason"] = cell.skip_reason
         return record
     return _execute_cell(cell, plan, jobs=jobs, jobs_backend=jobs_backend,
-                         run_chunk=run_chunk)
+                         run_chunk=run_chunk, result_transport=result_transport)
 
 
 def progress_line(cell: PlannedCell, total: int, record: dict) -> str:
@@ -231,6 +238,7 @@ def run_campaign(
     max_cells: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
     cell_jobs: int = 1,
+    result_transport: str = "pickle",
 ) -> CampaignRunStatus:
     """Execute every pending cell of ``plan``, streaming records to ``store``.
 
@@ -251,7 +259,8 @@ def run_campaign(
         return run_campaign_parallel(
             plan, store, cell_jobs=cell_jobs, jobs=jobs,
             jobs_backend=jobs_backend, run_chunk=run_chunk,
-            max_cells=max_cells, progress=progress)
+            max_cells=max_cells, progress=progress,
+            result_transport=result_transport)
     emit = progress if progress is not None else (lambda _message: None)
     status = CampaignRunStatus(total=plan.total)
     try:
@@ -265,7 +274,7 @@ def run_campaign(
                 break
             record = build_cell_record(
                 cell, plan, jobs=jobs, jobs_backend=jobs_backend,
-                run_chunk=run_chunk)
+                run_chunk=run_chunk, result_transport=result_transport)
             emit(progress_line(cell, plan.total, record))
             store.append_cell(record)
             status.executed_now += 1

@@ -96,6 +96,11 @@ from repro.engine.backends import (
 from repro.engine.convergence import run_until_stable
 from repro.engine.engine import SimulationEngine
 from repro.engine.experiment import JOBS_BACKENDS, repeat_experiment
+from repro.engine.transport import (
+    RESULT_TRANSPORTS,
+    TransportError,
+    shm_unavailable_reason,
+)
 from repro.interaction.adapters import one_way_as_two_way
 from repro.interaction.hierarchy import HIERARCHY_EDGES, topological_order
 from repro.interaction.models import MODELS_BY_NAME, get_model
@@ -187,6 +192,7 @@ def _command_run(args) -> int:
         raise SystemExit("--run-chunk must be at least 1")
     if args.chunk_size is not None and args.chunk_size < 1:
         raise SystemExit("--chunk-size must be at least 1")
+    _check_explicit_shm_transport(args.result_transport, args.backend)
 
     if args.runs > 1:
         return _run_repeated(args, protocol, model, simulator, protocol_kwargs)
@@ -254,6 +260,29 @@ def _print_ring_dump(last_steps, run_label: str = "run") -> None:
     print(format_table(["step", "interaction", "starter", "reactor"], rows))
 
 
+def _check_explicit_shm_transport(result_transport: str,
+                                  jobs_backend: str) -> None:
+    """Validate ``--result-transport shm`` up front, before any work runs.
+
+    Explicit shm is strict by contract: it needs the process fan-out
+    backend and a usable shared-memory subsystem, and the error must name
+    the fallback flag.  Checking here (rather than letting
+    ``repeat_experiment`` raise mid-campaign) keeps transport
+    misconfiguration a CLI error, never a per-cell error verdict.
+    """
+    if result_transport != "shm":
+        return
+    if jobs_backend != "process":
+        raise SystemExit(
+            "--result-transport shm crosses process boundaries; combine it "
+            "with --backend process (or use --result-transport auto)")
+    reason = shm_unavailable_reason()
+    if reason is not None:
+        raise SystemExit(
+            f"--result-transport shm: shared memory unavailable ({reason}); "
+            "rerun with --result-transport pickle")
+
+
 def _run_repeated(args, protocol, model, simulator, protocol_kwargs) -> int:
     """``repro run --runs N [--jobs J] [--backend B]``: the batch-experiment path.
 
@@ -289,9 +318,12 @@ def _run_repeated(args, protocol, model, simulator, protocol_kwargs) -> int:
             trace_policy=args.trace_policy,
             ring_size=args.ring_size,
             run_chunk=args.run_chunk,
+            result_transport=args.result_transport,
         )
     except BackendError as error:
         raise SystemExit(f"--engine-backend {args.engine_backend}: {error}")
+    except TransportError as error:
+        raise SystemExit(str(error))
 
     mean = result.mean_convergence_steps
     median = result.median_convergence_steps
@@ -421,6 +453,7 @@ def _command_campaign(args) -> int:
             raise SystemExit("--jobs must be at least 1")
         if args.run_chunk < 1:
             raise SystemExit("--run-chunk must be at least 1")
+        _check_explicit_shm_transport(args.result_transport, args.backend)
     plan, store_path = _load_campaign(args)
     campaign = plan.campaign
 
@@ -456,6 +489,7 @@ def _command_campaign(args) -> int:
             max_cells=args.max_cells,
             progress=progress,
             cell_jobs=args.cell_jobs,
+            result_transport=args.result_transport,
         )
         print(f"campaign {campaign.name}: {status.summary()}  (store: {store_path})")
         if status.pending:
@@ -654,6 +688,17 @@ def build_parser() -> argparse.ArgumentParser:
                                  "--runs > 1; larger chunks amortize the per-run "
                                  "pickling that dominates short runs on --backend "
                                  "process (results are identical for every value)")
+    run_parser.add_argument("--result-transport", choices=RESULT_TRANSPORTS,
+                            default="auto",
+                            help="how --backend process workers ship results back: "
+                                 "pickle (one pickled list per batch), shm "
+                                 "(zero-copy shared-memory arenas with a pickle "
+                                 "overflow lane for traces and ring dumps; "
+                                 "requires --backend process), or auto (default: "
+                                 "shm whenever the fan-out crosses processes, the "
+                                 "trace policy is counts-only and shared memory "
+                                 "is usable, else pickle); results are identical "
+                                 "for every choice")
     run_parser.add_argument("--chunk-size", type=int, default=None,
                             help="scheduled draws per batched scheduler call inside "
                                  "the engine (default 256; 1 reproduces the per-step "
@@ -714,6 +759,15 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument("--run-chunk", type=int, default=1,
                                  help="consecutive seeds per executor task "
                                       "(see repro run --run-chunk)")
+    campaign_parser.add_argument("--result-transport", choices=RESULT_TRANSPORTS,
+                                 default="auto",
+                                 help="result transport of each cell's process "
+                                      "fan-out (see repro run "
+                                      "--result-transport; campaign cells run "
+                                      "counts-only, so auto picks shm whenever "
+                                      "--backend process is given and shared "
+                                      "memory is usable); records and reports "
+                                      "are byte-identical for every choice")
     campaign_parser.add_argument(
         "--engine-backend", choices=BACKEND_CHOICES, default=None,
         help="engine backend for every cell, overriding the spec's "

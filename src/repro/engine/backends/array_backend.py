@@ -96,6 +96,7 @@ from repro.protocols.state import (
     ArrayConfiguration,
     Configuration,
     InterningError,
+    State,
     StateInterner,
 )
 from repro.scheduling.array_draws import ArrayDrawKernel, compile_scheduler
@@ -618,6 +619,20 @@ def _run_columnar(
 # ---------------------------------------------------------------------------
 
 
+#: Per-process memo of compiled programs and encoded initial configurations,
+#: keyed by object identity with ``is``-verification on lookup (entries hold
+#: strong references to their key objects, so a cached id can never be
+#: recycled while its entry is live).  Program, model and initial
+#: configuration are shared across the runs of one built experiment (see
+#: ``repro.protocols.registry.build_cached``), so a worker executing many
+#: runs of the same spec tabulates transitions and interns the O(n) initial
+#: configuration once instead of per run — on short runs at large n those
+#: were the dominant per-run cost.  Lifetime mirrors ``_BUILD_CACHE``: one
+#: entry per built experiment per process.
+_COMPILE_CACHE: "Dict[int, Tuple[Any, Any, CompiledProgram]]" = {}
+_INITIAL_CODES_CACHE: "Dict[int, Tuple[Any, CompiledProgram, np.ndarray]]" = {}
+
+
 class ArrayBackend(ExecutionBackend):
     """Columnar numpy execution for small-finite-state protocols."""
 
@@ -626,7 +641,12 @@ class ArrayBackend(ExecutionBackend):
     # -- shared setup --------------------------------------------------------
 
     def _compile_run(self, program, model, scheduler, initial_configuration) -> "Tuple[CompiledProgram, ArrayDrawKernel, np.ndarray]":
-        compiled = compile_program(program, model)
+        cached = _COMPILE_CACHE.get(id(program))
+        if cached is not None and cached[0] is program and cached[1] is model:
+            compiled = cached[2]
+        else:
+            compiled = compile_program(program, model)
+            _COMPILE_CACHE[id(program)] = (program, model, compiled)
         # The kernel carries the scheduler's draw-stream position, so it
         # must live exactly as long as the scheduler: repeated runs on one
         # engine continue the stream (as the python backend's random.Random
@@ -637,16 +657,26 @@ class ArrayBackend(ExecutionBackend):
         if kernel is None:
             kernel = compile_scheduler(scheduler)
             scheduler._array_kernel = kernel
-        try:
-            codes = np.asarray(
-                compiled.interner.encode_all(initial_configuration), dtype=np.int32
-            )
-        except InterningError as error:
-            raise BackendCompileError(
-                f"initial configuration cannot be interned for the array "
-                f"backend: {error}; run it with --engine-backend python"
-            ) from None
-        return compiled, kernel, codes
+        entry = _INITIAL_CODES_CACHE.get(id(initial_configuration))
+        if entry is not None and entry[0] is initial_configuration \
+                and entry[1] is compiled:
+            pristine = entry[2]
+        else:
+            try:
+                pristine = np.asarray(
+                    compiled.interner.encode_all(initial_configuration),
+                    dtype=np.int32,
+                )
+            except InterningError as error:
+                raise BackendCompileError(
+                    f"initial configuration cannot be interned for the array "
+                    f"backend: {error}; run it with --engine-backend python"
+                ) from None
+            _INITIAL_CODES_CACHE[id(initial_configuration)] = (
+                initial_configuration, compiled, pristine)
+        # Runs mutate their code array in place; every run gets its own copy
+        # of the pristine encoding.
+        return compiled, kernel, pristine.copy()
 
     @staticmethod
     def _freeze(codes: np.ndarray, interner: StateInterner) -> Configuration:
@@ -656,6 +686,20 @@ class ArrayBackend(ExecutionBackend):
         for code, state in enumerate(interner.states):
             lookup[code] = state
         return Configuration(lookup[codes].tolist())
+
+    @staticmethod
+    def _count_export(codes: np.ndarray,
+                      interner: StateInterner) -> Tuple[Tuple[State, int], ...]:
+        # The columnar count export consumed by the shm result transport
+        # (repro.engine.transport): one bincount over the code array, no
+        # detour through the frozen python-object configuration.  Zero
+        # counts are dropped so the export is an anonymous multiset view,
+        # identical to Configuration.histogram() up to ordering.
+        counts = np.bincount(codes, minlength=len(interner))
+        return tuple(
+            (state, int(counts[code]))
+            for code, state in enumerate(interner.states)
+            if counts[code])
 
     def view(self, codes: np.ndarray, interner: StateInterner) -> ArrayConfiguration:
         """A live read-only view over a run's code array (for diagnostics)."""
@@ -735,6 +779,7 @@ class ArrayBackend(ExecutionBackend):
         trace_policy: str = "counts-only",
         ring_size: Optional[int] = None,
         chunk_size: Optional[int] = None,
+        materialize_final: bool = True,
     ) -> ConvergenceResult:
         budget = _check_run_request(trace_policy, max_steps)
         compiled, kernel, codes = self._compile_run(
@@ -757,6 +802,7 @@ class ArrayBackend(ExecutionBackend):
                 final=initial_configuration,
                 omissions=0,
                 last_steps=(),
+                final_counts=self._count_export(codes, compiled.interner),
             )
 
         ring = None
@@ -776,14 +822,19 @@ class ArrayBackend(ExecutionBackend):
         # streak, so the first configuration of the stable streak is fixed
         # by arithmetic — the same value the python loop tracks imperatively.
         converged = stopped
+        # ``materialize_final=False`` (the shared-memory transport's no-detour
+        # export): the anonymous ``final_counts`` below carry everything the
+        # caller reads, so the O(n) decode of codes into a python
+        # Configuration — the dominant per-run cost on short runs — is skipped.
         return ConvergenceResult(
             converged=converged,
             steps_executed=executed,
             steps_to_convergence=executed - streak_target + 1 if converged else None,
             trace=None,
-            final=self._freeze(codes, compiled.interner),
+            final=self._freeze(codes, compiled.interner) if materialize_final else None,
             omissions=omissions,
             last_steps=self._dump_ring(ring, compiled, compiled_adversary),
+            final_counts=self._count_export(codes, compiled.interner),
         )
 
 

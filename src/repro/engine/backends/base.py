@@ -98,6 +98,15 @@ class ExecutionBackend:
         trace_policy: str = "full",
         ring_size: Optional[int] = None,
         chunk_size: Optional[int] = None,
+        materialize_final: bool = True,
     ) -> Any:
-        """Run until ``predicate`` stabilises; returns a ``ConvergenceResult``."""
+        """Run until ``predicate`` stabilises; returns a ``ConvergenceResult``.
+
+        ``materialize_final=False`` is an *advisory* hint that the caller
+        will not read ``result.final`` (e.g. the shared-memory result
+        transport, which ships anonymous state counts): backends whose
+        results carry ``final_counts`` may then skip materialising the
+        final configuration as python objects and return ``final=None``.
+        Backends without a counts export ignore the hint.
+        """
         raise NotImplementedError

@@ -84,7 +84,10 @@ class PythonBackend(ExecutionBackend):
         trace_policy: str = "full",
         ring_size: Optional[int] = None,
         chunk_size: Optional[int] = None,
+        materialize_final: bool = True,
     ) -> ConvergenceResult:
+        # ``materialize_final`` is advisory (see the base class): this
+        # backend exports no ``final_counts``, so it always materialises.
         return run_until_stable_core(
             program,
             model,

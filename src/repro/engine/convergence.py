@@ -24,7 +24,7 @@ from typing import Any, Callable, Optional, Tuple
 
 from repro.engine.fastpath import DEFAULT_CHUNK_SIZE, as_incremental, make_recorder, run_core
 from repro.engine.trace import Trace, TraceStep
-from repro.protocols.state import Configuration, MutableConfiguration
+from repro.protocols.state import Configuration, MutableConfiguration, State
 
 
 @dataclass
@@ -40,6 +40,13 @@ class ConvergenceResult:
     #: Trailing window of steps under the ``ring`` trace policy (empty otherwise;
     #: under ``full`` the complete step list lives on ``trace``).
     last_steps: Tuple[TraceStep, ...] = field(default=())
+    #: Anonymous multiset view of the final configuration as ``(state, count)``
+    #: pairs (zero counts dropped).  Set by the array backend's columnar count
+    #: export and by the shared-memory result transport's decoded fast lane —
+    #: whose results carry ``final=None``, which is sound because the
+    #: aggregate/merge layer never consumes ``final``.  ``None`` means "not
+    #: exported", not "empty".
+    final_counts: Optional[Tuple[Tuple[State, int], ...]] = None
 
     def __post_init__(self) -> None:
         if self.final is None and self.trace is not None:
@@ -85,6 +92,7 @@ def run_until_stable(
     trace_policy: str = "full",
     ring_size: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    materialize_final: bool = True,
 ) -> ConvergenceResult:
     """Run until ``predicate`` holds for ``stability_window + 1`` consecutive configurations.
 
@@ -113,6 +121,13 @@ def run_until_stable(
         :func:`~repro.engine.fastpath.run_core` (default
         :data:`~repro.engine.fastpath.DEFAULT_CHUNK_SIZE`).  Purely a
         performance knob: results are chunking-independent.
+    materialize_final:
+        Advisory hint (see
+        :meth:`~repro.engine.backends.base.ExecutionBackend.run_until_stable`):
+        ``False`` tells a backend with a ``final_counts`` export that the
+        caller will not read ``result.final``, letting it skip the O(n)
+        python-object decode of the final configuration.  The python
+        backend ignores the hint.
 
     Notes
     -----
@@ -155,6 +170,7 @@ def run_until_stable(
             trace_policy=trace_policy,
             ring_size=ring_size,
             chunk_size=chunk_size,
+            materialize_final=materialize_final,
         )
     return run_until_stable_core(
         engine.program,

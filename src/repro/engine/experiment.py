@@ -28,6 +28,16 @@ over the whole batch — one future, one pickled list, instead of ``K`` of
 each.  Batches are merged per-batch in submission order, so the aggregate
 stays deterministic.
 
+On top of chunking, ``result_transport`` selects *how* a batch's results
+cross the process boundary: ``pickle`` (the seed path — one pickled
+result list per batch) or ``shm`` (:mod:`repro.engine.transport` — the
+batch's counts-only results come back as fixed-width int64 rows in a
+shared-memory arena, with a pickle overflow lane for traces and ring
+dumps), with ``auto`` picking shm exactly when the fan-out crosses
+processes, the trace policy is counts-only and shared memory is usable.
+Purely a mechanism knob: the merged aggregate is identical for every
+transport.
+
 Whatever the backend and chunking, results merge in run-index order, so
 for a given spec and seed the aggregate :class:`ExperimentResult` is
 identical across sequential, thread and process execution and across
@@ -45,6 +55,13 @@ from typing import Any, Callable, List, Optional
 from repro.engine.convergence import ConvergenceResult, run_until_stable
 from repro.engine.engine import SimulationEngine
 from repro.engine.fastpath import IncrementalPredicate
+from repro.engine.transport import (
+    ShmBatch,
+    decode_batch,
+    dispose_batch,
+    encode_batch,
+    resolve_transport,
+)
 from repro.interaction.models import InteractionModel
 from repro.protocols.registry import ExperimentSpec, build_cached, resolved_spec
 from repro.protocols.state import Configuration
@@ -144,6 +161,7 @@ def run_spec(
     stability_window: int,
     trace_policy: str,
     ring_size: Optional[int] = None,
+    materialize_final: bool = True,
 ) -> ConvergenceResult:
     """Execute one seeded run of ``spec`` (the process-pool worker function).
 
@@ -185,6 +203,7 @@ def run_spec(
         trace_policy=trace_policy,
         ring_size=ring_size,
         chunk_size=spec.chunk_size,
+        materialize_final=materialize_final,
     )
 
 
@@ -197,6 +216,7 @@ def run_spec_batch(
     stability_window: int,
     trace_policy: str,
     ring_size: Optional[int] = None,
+    materialize_final: bool = True,
 ) -> List[ConvergenceResult]:
     """Execute ``count`` consecutive seeded runs of ``spec`` in one worker task.
 
@@ -209,9 +229,43 @@ def run_spec_batch(
     return [
         run_spec(
             spec, start_index + offset, base_seed, max_steps, stability_window,
-            trace_policy, ring_size)
+            trace_policy, ring_size, materialize_final)
         for offset in range(count)
     ]
+
+
+def run_spec_batch_shm(
+    spec: ExperimentSpec,
+    start_index: int,
+    count: int,
+    base_seed: int,
+    max_steps: int,
+    stability_window: int,
+    trace_policy: str,
+    ring_size: Optional[int] = None,
+) -> ShmBatch:
+    """:func:`run_spec_batch` through the shared-memory encoder.
+
+    The shm-transport worker function: the batch's columnar-eligible
+    results come back as one shared-memory arena named by the returned
+    descriptor, everything else on the descriptor's pickle overflow lane.
+    The arena's ownership passes to the parent with the descriptor
+    (:func:`~repro.engine.transport.decode_batch` unlinks it); a worker
+    failing mid-encode unlinks before propagating, so crashes leak
+    nothing.
+
+    When the run configuration guarantees every result is columnar-eligible
+    (``counts-only`` policy, no ring buffer — so no traces, no failure
+    dumps), the runs skip materialising ``result.final`` entirely
+    (``materialize_final=False``): backends with a counts export then never
+    decode the final configuration into python objects, which is the
+    "columnar export without the python-object detour" half of the
+    transport's win.
+    """
+    materialize_final = not (trace_policy == "counts-only" and ring_size is None)
+    return encode_batch(run_spec_batch(
+        spec, start_index, count, base_seed, max_steps, stability_window,
+        trace_policy, ring_size, materialize_final))
 
 
 def repeat_experiment(
@@ -232,6 +286,7 @@ def repeat_experiment(
     spec: Optional[ExperimentSpec] = None,
     ring_size: Optional[int] = None,
     run_chunk: int = 1,
+    result_transport: str = "pickle",
 ) -> ExperimentResult:
     """Run the same system ``runs`` times with different scheduler seeds.
 
@@ -295,6 +350,18 @@ def repeat_experiment(
         process backend, per-run argument/result pickling, which
         dominates short runs — at the cost of coarser load balancing.
         Purely a throughput knob: results are identical for every value.
+    result_transport:
+        How process-backend batches ship results back: ``"pickle"``
+        (default — one pickled result list per batch), ``"shm"`` (the
+        zero-copy shared-memory transport of
+        :mod:`repro.engine.transport`; requires
+        ``jobs_backend="process"`` and raises
+        :class:`~repro.engine.transport.TransportError` when shared
+        memory is unusable), or ``"auto"`` (shm exactly when the process
+        fan-out runs under a counts-only policy and shared memory works,
+        warning and falling back to pickle otherwise).  Like
+        ``run_chunk``, purely a mechanism knob: the merged aggregate is
+        identical for every transport.
     """
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
@@ -335,6 +402,9 @@ def repeat_experiment(
     policy = trace_policy if trace_policy is not None else (
         "full" if validate is not None else "counts-only"
     )
+    transport = resolve_transport(
+        result_transport, jobs_backend=jobs_backend, trace_policy=policy,
+        process_fanout=(jobs > 1 and runs > 1 and jobs_backend == "process"))
 
     if spec is not None and spec.backend == "auto":
         # Resolve once up front (against the run's actual trace policy) so
@@ -390,11 +460,17 @@ def repeat_experiment(
     if jobs > 1 and runs > 1:
         workers = min(jobs, runs)
         if jobs_backend == "process":
+            if transport == "shm":
+                worker, receive, dispose = \
+                    run_spec_batch_shm, decode_batch, dispose_batch
+            else:
+                worker, receive, dispose = run_spec_batch, None, None
             with ProcessPoolExecutor(max_workers=workers) as executor:
                 submit = lambda start, count: executor.submit(  # noqa: E731
-                    run_spec_batch, spec, start, count, base_seed, max_steps,
+                    worker, spec, start, count, base_seed, max_steps,
                     stability_window, policy, ring_size)
-                _merge_windowed(submit, runs, run_chunk, workers, merge)
+                _merge_windowed(submit, runs, run_chunk, workers, merge,
+                                receive=receive, dispose=dispose)
         else:
             def execute_batch(start: int, count: int) -> List[ConvergenceResult]:
                 return [execute_run(start + offset) for offset in range(count)]
@@ -409,17 +485,27 @@ def repeat_experiment(
     return result
 
 
-def _merge_windowed(submit, runs: int, run_chunk: int, workers: int, merge) -> None:
+def _merge_windowed(submit, runs: int, run_chunk: int, workers: int, merge,
+                    receive=None, dispose=None) -> None:
     """Submit batch futures, merging in submission order as they stream in.
 
-    ``submit(start, count)`` must return a future resolving to the
-    :class:`ConvergenceResult` list for run indices ``start .. start +
-    count - 1``; runs are carved into batches of ``run_chunk`` consecutive
-    indices.  Keeps at most ``2 * workers`` batches outstanding: with full
-    traces, materialising every result (or letting completed futures pile
-    up behind a slow early batch) would hold up to ``runs x max_steps``
+    ``submit(start, count)`` must return a future resolving to the batch
+    payload for run indices ``start .. start + count - 1``; runs are
+    carved into batches of ``run_chunk`` consecutive indices.  Keeps at
+    most ``2 * workers`` batches outstanding: with full traces,
+    materialising every result (or letting completed futures pile up
+    behind a slow early batch) would hold up to ``runs x max_steps``
     steps in memory.  Merging strictly in submission order is what makes
     the fan-out deterministic for every backend and chunking.
+
+    ``receive`` maps a future's payload to its
+    :class:`ConvergenceResult` list (the shm transport's
+    decode-and-unlink hook; identity when ``None`` — the payload already
+    is the list).  ``dispose`` releases a payload that will never be
+    received: when a worker or the merge raises mid-stream, the cleanup
+    path cancels what it can, waits out the batches already in flight,
+    and disposes each delivered payload — so no shared-memory arena
+    outlives a failed or interrupted fan-out.
     """
     window = 2 * workers
     pending: deque = deque()
@@ -427,13 +513,27 @@ def _merge_windowed(submit, runs: int, run_chunk: int, workers: int, merge) -> N
 
     def drain_one() -> None:
         nonlocal merged
-        for outcome in pending.popleft().result():
+        payload = pending.popleft().result()
+        for outcome in (receive(payload) if receive is not None else payload):
             merge(merged, outcome)
             merged += 1
 
-    for start in range(0, runs, run_chunk):
-        pending.append(submit(start, min(run_chunk, runs - start)))
-        if len(pending) >= window:
+    completed = False
+    try:
+        for start in range(0, runs, run_chunk):
+            pending.append(submit(start, min(run_chunk, runs - start)))
+            if len(pending) >= window:
+                drain_one()
+        while pending:
             drain_one()
-    while pending:
-        drain_one()
+        completed = True
+    finally:
+        if not completed and dispose is not None:
+            for future in pending:
+                future.cancel()
+            for future in pending:
+                # exception() waits for in-flight batches (they cannot be
+                # stopped mid-run) and returns rather than raises, so one
+                # crashed worker cannot mask the disposal of the others.
+                if not future.cancelled() and future.exception() is None:
+                    dispose(future.result())

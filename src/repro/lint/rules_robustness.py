@@ -25,7 +25,11 @@ flags, ``Path.write_text`` — could interleave partial lines or skip the
 fsync and silently void crash recovery, so constructing a writable file
 handle outside the sanctioned writer modules is a finding.  The parallel
 executor and the campaign queue deliberately hold no write path of their
-own: workers return records, and the store appends them.
+own: workers return records, and the store appends them.  The
+shared-memory result transport (:mod:`repro.engine.transport`) is scoped
+in for the same reason: it moves results *between* processes, and the
+single-writer contract only holds if no transport lane ever grows a
+file-write path of its own.
 """
 
 from __future__ import annotations
@@ -112,14 +116,19 @@ def _names_os_write_flag(node: ast.AST) -> bool:
 class StoreBypassRule(Rule):
     code = "RPL004"
     name = "store-write-bypass"
-    summary = ("campaign-layer file writes must go through the atomic "
-               "append helpers in campaign/store.py")
-    scope = ("repro.campaign.",)
+    summary = ("campaign-layer and result-transport file writes must go "
+               "through the atomic append helpers in campaign/store.py")
+    #: The campaign layer plus the shared-memory result transport: the
+    #: transport moves results between processes and must never grow a
+    #: store write path of its own — records reach disk only through the
+    #: single-writer appenders, whatever lane carried them (pinned by
+    #: ``tests/test_lint.py``).
+    scope = ("repro.campaign.", "repro.engine.transport")
 
     #: Modules owning a sanctioned write path: the atomic-append helpers
     #: (``_append_line``/``_write_manifest``) and the compaction writer
     #: (``compact_store``'s write-temp-then-rename rewrite) both live in
-    #: ``store.py`` — every other campaign module must route records
+    #: ``store.py`` — every other module in scope must route records
     #: through them.
     sanctioned_modules = ("repro.campaign.store",)
 

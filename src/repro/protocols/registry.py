@@ -45,7 +45,7 @@ imported, entry-point-registered keys resolve in process-pool workers too.
 from __future__ import annotations
 
 import importlib.metadata
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, Iterable, List, NamedTuple, Optional, Tuple
 
 from repro.adversary.omission import (
@@ -167,6 +167,67 @@ def default_initial_configuration(protocol, population: int,
 # ---------------------------------------------------------------------------
 
 
+def prepare_stable_output_predicate(
+        simulator, protocol, initial_projected: Configuration) -> Callable[[], Any]:
+    """Hoist the pure part of :func:`stable_output_predicate` out of the run.
+
+    Deriving the expected stable output is an O(n) scan of the initial
+    configuration — pure in (protocol, initial configuration), yet it used
+    to run once *per run*, where it dwarfed the actual simulation on
+    short runs at large n (the regime the shared-memory result transport
+    targets).  This preparer performs the scan once and returns a zero-arg
+    maker; each maker call still constructs a **fresh** predicate instance,
+    so the statefulness contract of incremental predicates (reset counts
+    per run) is untouched.
+    """
+    project = simulator.project
+    output = protocol.output
+
+    def all_output(expected) -> Callable[[], AgentCountPredicate]:
+        return lambda: AgentCountPredicate(
+            lambda s: output(project(s)) == expected)
+
+    name = protocol.name
+    if name == "pairing":
+        expected_critical = min(initial_projected.count("c"),
+                                initial_projected.count("p"))
+        return lambda: AgentCountPredicate(
+            lambda s: project(s) == "cs", target=expected_critical)
+    if name == "leader-election":
+        return lambda: AgentCountPredicate(lambda s: project(s) == "L", target=1)
+    if name == "exact-majority":
+        count_a = sum(1 for state in initial_projected
+                      if output(state) == "A")
+        expected = "A" if count_a * 2 > len(initial_projected) else "B"
+        return all_output(expected)
+    if name.startswith("averaging"):
+        def spread_at_most_one(c) -> bool:
+            return max(project(s) for s in c) - min(project(s) for s in c) <= 1
+        # Stateless plain callable: sharing one instance across runs is safe.
+        return lambda: spread_at_most_one
+    if name.startswith("threshold"):
+        ones = sum(weight for weight, _ in initial_projected)
+        return all_output(protocol.expected_output(ones))
+    if name.startswith("mod-") or name == "parity":
+        ones = sum(residue for _, residue in initial_projected)
+        return all_output(protocol.expected_output(ones))
+    # Generic boolean predicates: the stable output is determined by the
+    # protocol's own expected_output when available.
+    expected = None
+    if hasattr(protocol, "expected_output"):
+        ones = sum(1 for state in initial_projected if output(state))
+        try:
+            expected = protocol.expected_output(ones)
+        except TypeError:
+            expected = None
+    if expected is not None:
+        return all_output(expected)
+
+    def unanimous_output(c) -> bool:
+        return len({output(project(s)) for s in c}) == 1
+    return lambda: unanimous_output
+
+
 def stable_output_predicate(simulator, protocol, initial_projected: Configuration) -> "AgentCountPredicate | Callable[[Configuration], bool]":
     """Predicate: every agent's simulated output equals the final stable output.
 
@@ -184,45 +245,7 @@ def stable_output_predicate(simulator, protocol, initial_projected: Configuratio
     and the unanimity fallback remain plain configuration callables, which
     the array backend rejects with an actionable error.
     """
-    outputs = [protocol.output(state) for state in initial_projected]
-    project = simulator.project
-
-    def all_output(expected) -> AgentCountPredicate:
-        output = protocol.output
-        return AgentCountPredicate(lambda s: output(project(s)) == expected)
-
-    name = protocol.name
-    if name == "pairing":
-        expected_critical = min(initial_projected.count("c"), initial_projected.count("p"))
-        return AgentCountPredicate(
-            lambda s: project(s) == "cs", target=expected_critical)
-    if name == "leader-election":
-        return AgentCountPredicate(lambda s: project(s) == "L", target=1)
-    if name == "exact-majority":
-        count_a = sum(1 for value in outputs if value == "A")
-        expected = "A" if count_a * 2 > len(outputs) else "B"
-        return all_output(expected)
-    if name.startswith("averaging"):
-        return lambda c: max(project(s) for s in c) - min(
-            project(s) for s in c) <= 1
-    if name.startswith("threshold"):
-        ones = sum(weight for weight, _ in initial_projected)
-        return all_output(protocol.expected_output(ones))
-    if name.startswith("mod-") or name == "parity":
-        ones = sum(residue for _, residue in initial_projected)
-        return all_output(protocol.expected_output(ones))
-    # Generic boolean predicates: the stable output is determined by the
-    # protocol's own expected_output when available.
-    expected = None
-    if hasattr(protocol, "expected_output"):
-        ones = sum(1 for state in initial_projected if protocol.output(state))
-        try:
-            expected = protocol.expected_output(ones)
-        except TypeError:
-            expected = None
-    if expected is not None:
-        return all_output(expected)
-    return lambda c: len({protocol.output(project(s)) for s in c}) == 1
+    return prepare_stable_output_predicate(simulator, protocol, initial_projected)()
 
 
 #: Predicate factories ``factory(simulator, protocol, initial_projected) ->
@@ -232,10 +255,29 @@ PREDICATES: Dict[str, Callable[..., Any]] = {
     "stable-output": stable_output_predicate,
 }
 
+#: Optional two-stage twins of :data:`PREDICATES` entries:
+#: ``prepare(simulator, protocol, initial_projected)`` runs the pure,
+#: possibly O(n) part once per built experiment and returns a zero-arg
+#: maker producing a fresh predicate per run.  Factories without an entry
+#: here are simply called once per run, as before.
+PREDICATE_PREPARERS: Dict[str, Callable[..., Callable[[], Any]]] = {
+    "stable-output": prepare_stable_output_predicate,
+}
 
-def register_predicate(key: str, factory: Callable[..., Any]) -> None:
-    """Register a convergence-predicate factory under ``key`` (import-time only)."""
+
+def register_predicate(key: str, factory: Callable[..., Any],
+                       prepare: Optional[Callable[..., Callable[[], Any]]] = None) -> None:
+    """Register a convergence-predicate factory under ``key`` (import-time only).
+
+    ``prepare``, when given, registers a two-stage twin (see
+    :data:`PREDICATE_PREPARERS`) that lets repeated runs of one spec skip
+    the factory's per-run setup cost.
+    """
     PREDICATES[key] = factory
+    if prepare is not None:
+        PREDICATE_PREPARERS[key] = prepare
+    else:
+        PREDICATE_PREPARERS.pop(key, None)
 
 
 # ---------------------------------------------------------------------------
@@ -428,11 +470,26 @@ class BuiltExperiment:
     program: Any
     initial_projected: Configuration
     initial_configuration: Configuration
+    #: Lazily cached zero-arg predicate maker (see
+    #: :data:`PREDICATE_PREPARERS`): the pure preparation scan runs once
+    #: per built experiment, while every :meth:`make_predicate` call still
+    #: returns a fresh (possibly stateful) predicate instance.
+    _predicate_maker: Optional[Callable[[], Any]] = field(
+        default=None, init=False, repr=False, compare=False)
 
     def make_predicate(self) -> Any:
         """A fresh convergence predicate for one run."""
-        return PREDICATES[self.spec.predicate](
-            self.program, self.protocol, self.initial_projected)
+        maker = self._predicate_maker
+        if maker is None:
+            prepare = PREDICATE_PREPARERS.get(self.spec.predicate)
+            if prepare is not None:
+                maker = prepare(self.program, self.protocol, self.initial_projected)
+            else:
+                factory = PREDICATES[self.spec.predicate]
+                maker = lambda: factory(
+                    self.program, self.protocol, self.initial_projected)
+            self._predicate_maker = maker
+        return maker()
 
     def make_scheduler(self, seed: Optional[int]) -> Any:
         """A fresh scheduler for one run."""

@@ -206,6 +206,15 @@ class TestStoreBypass:
             module="repro.campaign.store")
         assert findings == []
 
+    def test_transport_module_is_in_scope(self):
+        # The shared-memory result transport moves records between
+        # processes; the single-writer store contract only holds if it
+        # never grows a file-write path of its own.
+        findings = lint_source(
+            "with open('results.jsonl', 'a') as fh:\n    fh.write('x')\n",
+            module="repro.engine.transport")
+        assert codes(findings) == ["RPL004"]
+
     def test_outside_campaign_layer_clean(self):
         findings = lint_source(
             "fh = open('notes.txt', 'w')\n",
