@@ -31,6 +31,7 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py --quick
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py --adversary bounded
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py --backend array
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py --obs
 
 ``--adversary`` picks the adversary class attached to the omission-model
 rows: ``uo`` (the flooding UOAdversary, the historical default) or
@@ -54,6 +55,17 @@ python).  ``--json PATH`` appends the measured cell to a JSON file
 (read-update-merge keyed by adversary class, so the separate ``bounded``
 and ``uo`` CI invocations accumulate into one ``BENCH_array_adversary.json``
 artifact).
+
+``--obs`` runs the **observability-overhead** guard instead: the shipped
+:func:`run_until_stable` — whose per-run telemetry seam costs one global
+recorder read plus one identity check when observability is off (the
+default ``NullRecorder``) — versus a control calling
+:func:`run_until_stable_core` directly, bypassing the seam entirely.
+Counts-only epidemic under TW at n = 10^4 and 10^5, interleaved repeats,
+best-of per path.  Its guard: at n = 10^5 the shipped path must keep
+**≥ 97%** of the control's throughput (a ≤ 3% NullRecorder tax; typically
+indistinguishable from noise).  ``--json PATH`` merges the guarded cell
+under the ``"obs-overhead"`` key (e.g. ``BENCH_engine_throughput.json``).
 
 ``--transport`` runs the **result-transport** comparison instead: process
 fan-out (``jobs=2``, chunked workers) returning results over the
@@ -132,6 +144,18 @@ ADVERSARY_GUARD_FACTOR = 3.0
 TRANSPORT_GUARD_POPULATION = 100_000
 TRANSPORT_GUARD_FACTOR = 1.5
 TRANSPORT_SIZES = (10_000, 100_000)
+
+#: The observability-overhead guard: with the default ``NullRecorder``
+#: installed, the shipped ``run_until_stable`` must keep ≥97% of the
+#: throughput of a control that bypasses the telemetry seam entirely —
+#: i.e. observability-off costs at most 3%.  The seam is per run (one
+#: global read, one identity check), so the real tax is noise-level; the
+#: guard exists to catch a regression that sneaks recording into a hot
+#: loop.
+OBS_GUARD_POPULATION = 100_000
+OBS_GUARD_RATIO = 0.97
+OBS_SIZES = (10_000, 100_000)
+OBS_REPEATS = 5
 
 
 def build_adversary(kind: str, model, seed: int):
@@ -369,6 +393,111 @@ def run_adversary_backend_comparison(args) -> int:
     return 0
 
 
+def run_obs_overhead_comparison(args) -> int:
+    """``--obs``: the NullRecorder tax of the per-run observability seam.
+
+    Both paths execute the identical python-backend convergence loop on
+    a counts-only epidemic run under TW from the same seed, driven by a
+    never-satisfied O(1) incremental predicate so the full step budget is
+    spent in the step loop (a plain-callable predicate would rescan all n
+    agents per step and drown the seam in predicate cost):
+
+    * ``control`` calls :func:`run_until_stable_core` directly — the raw
+      loop, no telemetry seam at all;
+    * ``shipped`` calls :func:`run_until_stable` with the process-wide
+      default recorder (the ``NullRecorder``) — paying the seam's one
+      global read and one identity check per run.
+
+    Repeats are interleaved (control, shipped, control, ...) so clock
+    drift hits both paths alike, and each path keeps its best rate.
+    """
+    from repro.engine.convergence import run_until_stable, run_until_stable_core
+    from repro.engine.fastpath import IncrementalPredicate
+    from repro.obs.recorder import NULL_RECORDER, get_recorder
+
+    class _NeverStable(IncrementalPredicate):
+        """O(1) predicate that never fires: the run spends its full budget."""
+
+        consumes_deltas = False
+
+        def reset(self, configuration) -> bool:
+            return False
+
+        def update(self, deltas) -> bool:
+            return False
+
+    if get_recorder() is not NULL_RECORDER:
+        print("FAIL: the --obs guard measures the observability-off path "
+              "and needs the NullRecorder installed", file=sys.stderr)
+        return 1
+
+    sizes = args.sizes or list(OBS_SIZES)
+    if OBS_GUARD_POPULATION not in sizes:
+        sizes = sorted(sizes + [OBS_GUARD_POPULATION])
+    steps = args.steps or (20_000 if args.quick else 100_000)
+
+    def measure_once(n: int, shipped: bool) -> float:
+        engine = build_engine("TW", n, seed=0, with_adversary=False)
+        initial = initial_configuration(n)
+        predicate = _NeverStable()
+        start = time.perf_counter()
+        if shipped:
+            result = run_until_stable(engine, initial, predicate,
+                                      max_steps=steps, trace_policy="counts-only")
+        else:
+            result = run_until_stable_core(
+                engine.program, engine.model, engine.scheduler, engine.adversary,
+                initial, predicate, max_steps=steps, trace_policy="counts-only")
+        elapsed = time.perf_counter() - start
+        assert result.steps_executed == steps
+        return steps / elapsed if elapsed > 0 else float("inf")
+
+    rows = []
+    guard_cell: Optional[dict] = None
+    for n in sizes:
+        best = {"control": 0.0, "shipped": 0.0}
+        for _ in range(OBS_REPEATS):
+            best["control"] = max(best["control"], measure_once(n, shipped=False))
+            best["shipped"] = max(best["shipped"], measure_once(n, shipped=True))
+        ratio = best["shipped"] / best["control"]
+        if n == OBS_GUARD_POPULATION:
+            guard_cell = {
+                "protocol": "epidemic",
+                "model": "TW",
+                "n": n,
+                "steps": steps,
+                "repeats": OBS_REPEATS,
+                "control_its": round(best["control"], 1),
+                "shipped_its": round(best["shipped"], 1),
+                "ratio": round(ratio, 4),
+                "guard_ratio": OBS_GUARD_RATIO,
+            }
+        rows.append([
+            n, steps,
+            f"{best['control']:,.0f}", f"{best['shipped']:,.0f}",
+            f"{ratio:.3f}",
+        ])
+
+    print(format_table(
+        ["n", "steps", "control it/s (no seam)", "shipped it/s (NullRecorder)",
+         "shipped/control"],
+        rows,
+    ))
+    print()
+    assert guard_cell is not None
+    print(f"headline: with observability off, run_until_stable keeps "
+          f"{guard_cell['ratio'] * 100:.1f}% of the seamless control's "
+          f"throughput at n={OBS_GUARD_POPULATION:,} (TW, counts-only)")
+    if args.json:
+        _merge_bench_json(args.json, "obs-overhead", guard_cell)
+    if guard_cell["ratio"] < OBS_GUARD_RATIO:
+        print(f"FAIL: expected the NullRecorder seam to keep at least "
+              f"{OBS_GUARD_RATIO * 100:.0f}% of control throughput at "
+              f"n={OBS_GUARD_POPULATION:,}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def run_transport_comparison(args) -> int:
     """``--transport``: shared-memory result transport vs. chunked pickle.
 
@@ -484,6 +613,12 @@ def main(argv: Optional[list] = None) -> int:
                              "process fan-out over the shared-memory columnar "
                              "transport vs chunked pickle, with its ≥1.5x "
                              "guard at n=100,000 (needs numpy)")
+    parser.add_argument("--obs", action="store_true",
+                        help="run the observability-overhead guard instead: "
+                             "the shipped run_until_stable (NullRecorder "
+                             "installed) must keep ≥97%% of the throughput "
+                             "of a control bypassing the telemetry seam, "
+                             "at n=100,000")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="merge the mode's guarded measurement into this "
                              "JSON artifact (e.g. BENCH_transport.json, "
@@ -491,6 +626,8 @@ def main(argv: Optional[list] = None) -> int:
                              "BENCH_engine_throughput.json)")
     args = parser.parse_args(argv)
 
+    if args.obs:
+        return run_obs_overhead_comparison(args)
     if args.transport:
         return run_transport_comparison(args)
     if args.backend == "array":

@@ -56,6 +56,7 @@ from repro.campaign.runner import (
     progress_line,
 )
 from repro.campaign.store import _BaseStore
+from repro.obs.recorder import NULL_RECORDER, get_recorder
 
 
 def _completed_in_order(futures: List[Future]) -> Iterator[Future]:
@@ -114,6 +115,10 @@ def run_campaign_parallel(
         _tally(status, record)
 
     if selected:
+        obs = get_recorder()
+        if obs is not NULL_RECORDER:
+            obs.gauge("campaign.pool_width", min(cell_jobs, len(selected)))
+            obs.counter("campaign.cells.submitted", len(selected))
         futures: List[Future] = []
         cell_of: Dict[Future, PlannedCell] = {}
         try:

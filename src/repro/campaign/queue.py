@@ -45,6 +45,7 @@ from repro.campaign.runner import (
     build_cell_record,
 )
 from repro.campaign.store import _BaseStore
+from repro.obs.recorder import NULL_RECORDER, get_recorder
 
 
 @dataclass
@@ -148,6 +149,10 @@ class CampaignQueue:
 
         items = self._collect_items()
         queue = sorted(items.values(), key=lambda item: item.sort_key)
+        obs = get_recorder()
+        if obs is not NULL_RECORDER:
+            obs.gauge("queue.campaigns", len(self._entries))
+            obs.gauge("queue.depth", len(queue))
 
         # Satisfy from any submitted store's cache before computing anything:
         # a record persisted by one campaign serves every other subscriber.
@@ -158,6 +163,9 @@ class CampaignQueue:
                 self._deliver(item, cached, emit, executed=False)
             else:
                 to_run.append(item)
+        if obs is not NULL_RECORDER:
+            obs.counter("queue.cache_hits", len(queue) - len(to_run))
+            obs.counter("queue.executed", len(to_run))
 
         if to_run:
             self._execute(to_run, cell_jobs, emit)
@@ -204,6 +212,9 @@ class CampaignQueue:
         for entry, cell in item.subscribers:
             if entry.store.record_for(cell.cell_id) is None:
                 entry.store.append_cell(_reheaded(record, cell))
+                # Per delivered record, not per step: the NullRecorder call
+                # is a single no-op method dispatch when telemetry is off.
+                get_recorder().counter("queue.delivered")
                 if executed and entry is owner_entry:
                     entry.status.executed_now += 1
             _tally(entry.status, entry.store.record_for(cell.cell_id))

@@ -30,13 +30,15 @@ against.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.campaign.planner import CampaignPlan, PlannedCell
 from repro.campaign.store import CELL_KIND, ResultStore
 from repro.engine.backends import BackendError
 from repro.engine.experiment import repeat_experiment
+from repro.obs.recorder import NULL_RECORDER, Recorder, get_recorder
 
 
 @dataclass
@@ -109,16 +111,8 @@ def campaign_status(plan: CampaignPlan, store: ResultStore) -> CampaignRunStatus
 MAX_BACKEND_REASONS = 3
 
 
-def backend_summary(plan: CampaignPlan) -> List[str]:
-    """Human-readable lines describing the plan's backend resolution.
-
-    One line tallying executable cells per concrete engine backend, then —
-    when ``auto`` cells fell back to the python backend — the first few
-    distinct reasons.  Empty when nothing resolved to the array backend and
-    no fallback happened (an all-python campaign has no selection story to
-    tell); the CLI prints these before running so slow-path cells are
-    visible up front.
-    """
+def _backend_resolution(plan: CampaignPlan) -> Tuple[dict, List[str]]:
+    """Per-backend cell tally and distinct fallback reasons, in plan order."""
     counts: dict = {}
     reasons: List[str] = []
     seen_reasons: set = set()
@@ -130,6 +124,20 @@ def backend_summary(plan: CampaignPlan) -> List[str]:
         if cell.backend_reason and cell.backend_reason not in seen_reasons:
             seen_reasons.add(cell.backend_reason)
             reasons.append(cell.backend_reason)
+    return counts, reasons
+
+
+def backend_summary(plan: CampaignPlan) -> List[str]:
+    """Human-readable lines describing the plan's backend resolution.
+
+    One line tallying executable cells per concrete engine backend, then —
+    when ``auto`` cells fell back to the python backend — the first few
+    distinct reasons.  Empty when nothing resolved to the array backend and
+    no fallback happened (an all-python campaign has no selection story to
+    tell); the CLI prints these before running so slow-path cells are
+    visible up front.
+    """
+    counts, reasons = _backend_resolution(plan)
     if not reasons and set(counts) <= {"python"}:
         return []
     tally = ", ".join(f"{count} on {backend}"
@@ -202,7 +210,34 @@ def build_cell_record(cell: PlannedCell, plan: CampaignPlan, *, jobs: int = 1,
     (mechanism only — records are byte-identical for every transport);
     even under the shm transport the record returned here is plain data,
     so the main thread stays the store's only appender.
+
+    This is also the one per-cell observability seam: every executor —
+    the serial walk, the parallel pool, the multi-campaign queue — funnels
+    through here, so per-cell wall time and verdicts are recorded exactly
+    once per computed cell, whatever scheduled it.  Telemetry is
+    write-only: the returned record never carries it.
     """
+    obs = get_recorder()
+    if obs is NULL_RECORDER:
+        return _build_record(cell, plan, jobs, jobs_backend, run_chunk,
+                             result_transport)
+    begin = time.perf_counter()
+    record = _build_record(cell, plan, jobs, jobs_backend, run_chunk,
+                           result_transport)
+    seconds = time.perf_counter() - begin
+    status = record["status"]
+    obs.counter(f"campaign.cells.{status}")
+    obs.observe("campaign.cell_seconds", seconds)
+    obs.event("campaign.cell", cell_id=cell.cell_id, index=cell.index,
+              status=status, seconds=round(seconds, 6),
+              backend=dict(cell.fields).get("backend", "python"))
+    return record
+
+
+def _build_record(cell: PlannedCell, plan: CampaignPlan, jobs: int,
+                  jobs_backend: str, run_chunk: int,
+                  result_transport: str) -> dict:
+    """The uninstrumented record build behind :func:`build_cell_record`."""
     if cell.skip_reason is not None:
         record = _cell_record_header(cell)
         record["status"] = "na"
@@ -254,13 +289,70 @@ def run_campaign(
         raise ValueError("max_cells must be at least 1")
     if cell_jobs < 1:
         raise ValueError("cell_jobs must be at least 1")
+    obs = get_recorder()
+    begin = 0.0 if obs is NULL_RECORDER else time.perf_counter()
+    if obs is not NULL_RECORDER:
+        record_campaign_planned(obs, plan)
     if cell_jobs > 1:
         from repro.campaign.executor import run_campaign_parallel
-        return run_campaign_parallel(
+        status = run_campaign_parallel(
             plan, store, cell_jobs=cell_jobs, jobs=jobs,
             jobs_backend=jobs_backend, run_chunk=run_chunk,
             max_cells=max_cells, progress=progress,
             result_transport=result_transport)
+    else:
+        status = _run_campaign_serial(
+            plan, store, jobs=jobs, jobs_backend=jobs_backend,
+            run_chunk=run_chunk, max_cells=max_cells, progress=progress,
+            result_transport=result_transport)
+    if obs is not NULL_RECORDER:
+        _record_campaign_done(obs, plan, status,
+                              time.perf_counter() - begin)
+    return status
+
+
+def record_campaign_planned(obs: Recorder, plan: CampaignPlan) -> None:
+    """Emit the campaign-start event plus the plan's backend resolution.
+
+    The fallback reasons :func:`backend_summary` prints once also land in
+    the event sink here (one structured event per distinct reason), so
+    "why did these cells run on python?" survives past the terminal.
+    """
+    obs.event("campaign.start", name=plan.campaign.name, total=plan.total)
+    counts, reasons = _backend_resolution(plan)
+    if counts:
+        obs.event("campaign.backends",
+                  **{backend: count for backend, count in sorted(counts.items())})
+    for reason in reasons:
+        obs.event("campaign.backend_fallback", backend="python", reason=reason)
+
+
+def _record_campaign_done(obs: Recorder, plan: CampaignPlan,
+                          status: CampaignRunStatus, seconds: float) -> None:
+    """Fold one runner pass's outcome into metrics plus the end event."""
+    store_hits = status.done - status.executed_now
+    obs.counter("campaign.cells.skipped", store_hits)
+    obs.observe("campaign.seconds", seconds)
+    if seconds > 0:
+        obs.gauge("campaign.cells_per_s", status.executed_now / seconds)
+    obs.event("campaign.end", name=plan.campaign.name, total=plan.total,
+              done=status.done, executed=status.executed_now,
+              skipped=store_hits, errors=status.errors, na=status.na,
+              interrupted=status.interrupted, seconds=round(seconds, 6))
+
+
+def _run_campaign_serial(
+    plan: CampaignPlan,
+    store: ResultStore,
+    *,
+    jobs: int,
+    jobs_backend: str,
+    run_chunk: int,
+    max_cells: Optional[int],
+    progress: Optional[Callable[[str], None]],
+    result_transport: str,
+) -> CampaignRunStatus:
+    """The serial reference walk behind :func:`run_campaign`."""
     emit = progress if progress is not None else (lambda _message: None)
     status = CampaignRunStatus(total=plan.total)
     try:

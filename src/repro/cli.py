@@ -52,6 +52,9 @@ Examples::
     repro campaign run examples/figure4_omission_sweep.json --cell-jobs 4
     repro campaign run examples/figure4_omission_sweep.json \
           --shared --store pool.results.jsonl
+    repro campaign run examples/figure4_omission_sweep.json \
+          --metrics sweep.metrics.jsonl --progress
+    repro campaign metrics sweep.metrics.jsonl
     repro campaign resume examples/figure4_omission_sweep.json
     repro campaign report examples/figure4_omission_sweep.json
     repro campaign compact examples/figure4_omission_sweep.json
@@ -69,7 +72,8 @@ import argparse
 import dataclasses
 import os
 import sys
-from typing import List, Optional, Tuple, Union
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Tuple, Union
 
 from repro.adversary.constructions import Lemma1Construction, no1_liveness_attack
 from repro.analysis.reporting import format_results_map, format_table
@@ -105,6 +109,17 @@ from repro.interaction.adapters import one_way_as_two_way
 from repro.interaction.hierarchy import HIERARCHY_EDGES, topological_order
 from repro.interaction.models import MODELS_BY_NAME, get_model
 from repro.lint.cli import add_lint_arguments, command_lint
+from repro.obs import (
+    JsonlSink,
+    MetricsRecorder,
+    MultiRecorder,
+    ProgressReporter,
+    Recorder,
+    SinkError,
+    read_sink,
+    recording,
+    summarize_records,
+)
 from repro.protocols.catalog import CATALOG, get_protocol
 from repro.protocols.catalog.pairing import PairingProtocol
 from repro.protocols.registry import (
@@ -163,7 +178,35 @@ def _resolve_cli_backend(args, protocol_kwargs) -> str:
     return resolution.backend
 
 
+@contextmanager
+def _observability(args) -> Iterator[None]:
+    """Activate the recorder stack a command's flags ask for.
+
+    Telemetry is strictly sidecar output: ``--metrics PATH`` streams the
+    JSONL event sink (plus a folded summary on close) to its own file,
+    ``--progress`` redraws a live line on *stderr* — stdout (tables,
+    reports) and the result store are never touched, so command output is
+    byte-identical with observability on or off.
+    """
+    recorders: List[Recorder] = []
+    if getattr(args, "metrics", None):
+        recorders.append(MetricsRecorder(sink=JsonlSink(args.metrics)))
+    if getattr(args, "progress", False):
+        recorders.append(ProgressReporter())
+    if not recorders:
+        yield
+        return
+    stack = recorders[0] if len(recorders) == 1 else MultiRecorder(recorders)
+    with recording(stack):
+        yield
+
+
 def _command_run(args) -> int:
+    with _observability(args):
+        return _run_command(args)
+
+
+def _run_command(args) -> int:
     protocol_kwargs = {}
     if args.protocol == "threshold" and args.threshold is not None:
         protocol_kwargs["threshold"] = args.threshold
@@ -443,7 +486,28 @@ def _open_campaign_store(args, plan: CampaignPlan,
                             recover=writable)
 
 
+def _command_campaign_metrics(path: str) -> int:
+    """``repro campaign metrics PATH``: summarise a recorded metrics sink."""
+    try:
+        records = read_sink(path)
+    except OSError as error:
+        raise SystemExit(f"cannot read metrics sink {path!r}: {error}")
+    except SinkError as error:
+        raise SystemExit(str(error))
+    print(summarize_records(records), end="")
+    return 0
+
+
 def _command_campaign(args) -> int:
+    if args.action == "metrics":
+        # The positional argument is the sink path here, not a campaign
+        # spec — summarising telemetry needs no plan and no store.
+        return _command_campaign_metrics(args.spec)
+    with _observability(args):
+        return _campaign_action(args)
+
+
+def _campaign_action(args) -> int:
     if args.action in ("run", "resume"):
         if args.max_cells is not None and args.max_cells < 1:
             raise SystemExit("--max-cells must be at least 1")
@@ -726,20 +790,31 @@ def build_parser() -> argparse.ArgumentParser:
                                  "on non-convergence")
     run_parser.add_argument("--ring-size", type=int, default=64,
                             help="trailing window size for --trace-policy ring")
+    run_parser.add_argument("--metrics", metavar="PATH", default=None,
+                            help="stream engine/fan-out telemetry to a JSONL "
+                                 "event sink at PATH (sidecar file; results "
+                                 "and printed tables are byte-identical with "
+                                 "or without it); summarise later with "
+                                 "'repro campaign metrics PATH'")
     run_parser.set_defaults(handler=_command_run)
 
     campaign_parser = subparsers.add_parser(
         "campaign",
         help="declarative, resumable parameter-sweep campaigns over a result store")
     campaign_parser.add_argument(
-        "action", choices=("run", "status", "resume", "report", "compact"),
+        "action",
+        choices=("run", "status", "resume", "report", "compact", "metrics"),
         help="run: execute pending cells (creates the store); resume: continue "
              "an interrupted campaign (requires the store); status: progress "
              "summary; report: render the verdict grids and per-cell table; "
              "compact: rewrite the store in canonical order, dropping "
              "superseded and orphaned records (reports are byte-identical "
-             "before and after)")
-    campaign_parser.add_argument("spec", help="path to the campaign spec (JSON)")
+             "before and after); metrics: summarise a telemetry sink "
+             "recorded by --metrics (the positional argument is the sink "
+             "path, not a spec)")
+    campaign_parser.add_argument(
+        "spec", help="path to the campaign spec (JSON); for the metrics "
+                     "action, the path of the recorded sink")
     campaign_parser.add_argument(
         "--store", default=None,
         help="result store path (default: <spec stem>.results.jsonl next to the spec)")
@@ -781,6 +856,16 @@ def build_parser() -> argparse.ArgumentParser:
                                       "(deterministic interruption; resume later)")
     campaign_parser.add_argument("--quiet", action="store_true",
                                  help="suppress per-cell progress lines")
+    campaign_parser.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="stream campaign/engine telemetry to a JSONL event sink at "
+             "PATH (sidecar file; the store and the rendered report are "
+             "byte-identical with or without it); summarise later with "
+             "'repro campaign metrics PATH'")
+    campaign_parser.add_argument(
+        "--progress", action="store_true",
+        help="redraw a live progress line on stderr while the campaign "
+             "runs (cells done/total, cells/s, ETA, per-backend tally)")
     campaign_parser.set_defaults(handler=_command_campaign)
 
     list_parser = subparsers.add_parser(
@@ -790,7 +875,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint_parser = subparsers.add_parser(
         "lint", help="run the determinism-contracts static-analysis pass "
-                     "(RPL001-RPL006) over the package sources")
+                     "(RPL001-RPL007) over the package sources")
     add_lint_arguments(lint_parser)
     lint_parser.set_defaults(handler=command_lint)
 

@@ -91,6 +91,7 @@ from repro.engine.convergence import ConvergenceResult
 from repro.engine.fastpath import RunResult
 from repro.engine.trace import TraceStep
 from repro.interaction.omissions import NO_OMISSION, Omission
+from repro.obs.recorder import NULL_RECORDER, get_recorder
 from repro.protocols.protocol import ProtocolError
 from repro.protocols.state import (
     ArrayConfiguration,
@@ -554,6 +555,12 @@ def _run_columnar(
     executed = 0
     scheduler_step = 0
     omissions = 0
+    # Segment telemetry is folded locally (two int adds per segment, which
+    # already costs several numpy kernels) and recorded once per run, so
+    # the NullRecorder path pays one identity check per run here.
+    obs = get_recorder()
+    segments = 0
+    segment_steps = 0
     while executed < max_steps:
         remaining = max_steps - executed
         k = chunk_size if remaining > chunk_size else remaining
@@ -573,6 +580,8 @@ def _run_columnar(
         while start < total:
             conflicts = np.nonzero(horizon[start:] >= start)[0]
             end = start + int(conflicts[0]) if conflicts.size else total
+            segments += 1
+            segment_steps += end - start
             starter_idx = starters[start:end]
             reactor_idx = reactors[start:end]
             seg_kinds = kinds[start:end] if kinds is not None else None
@@ -601,6 +610,8 @@ def _run_columnar(
                             starter_post[:keep], reactor_post[:keep])
                     if kinds is not None:
                         omissions += int((kinds[:start + keep] != 0).sum())
+                    if obs is not NULL_RECORDER:
+                        _record_segments(obs, segments, segment_steps)
                     return executed + start + keep, omissions, True
             codes[starter_idx] = starter_post
             codes[reactor_idx] = reactor_post
@@ -611,7 +622,16 @@ def _run_columnar(
             start = end
         omissions += injected
         executed += total
+    if obs is not NULL_RECORDER:
+        _record_segments(obs, segments, segment_steps)
     return executed, omissions, False
+
+
+def _record_segments(obs: Any, segments: int, segment_steps: int) -> None:
+    """Fold one columnar run's collision-free-segment telemetry."""
+    obs.counter("engine.array.segments", segments)
+    if segments:
+        obs.observe("engine.array.segment_size", segment_steps / segments)
 
 
 # ---------------------------------------------------------------------------
@@ -641,12 +661,17 @@ class ArrayBackend(ExecutionBackend):
     # -- shared setup --------------------------------------------------------
 
     def _compile_run(self, program, model, scheduler, initial_configuration) -> "Tuple[CompiledProgram, ArrayDrawKernel, np.ndarray]":
+        obs = get_recorder()
         cached = _COMPILE_CACHE.get(id(program))
         if cached is not None and cached[0] is program and cached[1] is model:
             compiled = cached[2]
+            if obs is not NULL_RECORDER:
+                obs.counter("engine.array.compile_cache.hit")
         else:
             compiled = compile_program(program, model)
             _COMPILE_CACHE[id(program)] = (program, model, compiled)
+            if obs is not NULL_RECORDER:
+                obs.counter("engine.array.compile_cache.miss")
         # The kernel carries the scheduler's draw-stream position, so it
         # must live exactly as long as the scheduler: repeated runs on one
         # engine continue the stream (as the python backend's random.Random

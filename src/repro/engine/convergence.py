@@ -19,11 +19,13 @@ Predicates come in two flavours:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Tuple
 
 from repro.engine.fastpath import DEFAULT_CHUNK_SIZE, as_incremental, make_recorder, run_core
 from repro.engine.trace import Trace, TraceStep
+from repro.obs.recorder import NULL_RECORDER, Recorder, get_recorder
 from repro.protocols.state import Configuration, MutableConfiguration, State
 
 
@@ -155,10 +157,15 @@ def run_until_stable(
     otherwise).
     """
     backend = getattr(engine, "backend", "python")
+    # The per-run observability seam: one global read and one identity
+    # check when telemetry is off (the NullRecorder guarantee); metrics
+    # are per run, never per step, so the hot loops stay untouched.
+    obs = get_recorder()
+    begin = 0.0 if obs is NULL_RECORDER else time.perf_counter()
     if backend != "python":
         from repro.engine.backends import get_backend  # lazy: avoids an import cycle
 
-        return get_backend(backend).run_until_stable(
+        result = get_backend(backend).run_until_stable(
             engine.program,
             engine.model,
             engine.scheduler,
@@ -172,19 +179,42 @@ def run_until_stable(
             chunk_size=chunk_size,
             materialize_final=materialize_final,
         )
-    return run_until_stable_core(
-        engine.program,
-        engine.model,
-        engine.scheduler,
-        engine.adversary,
-        initial_configuration,
-        predicate,
-        max_steps=max_steps,
-        stability_window=stability_window,
-        trace_policy=trace_policy,
-        ring_size=ring_size,
-        chunk_size=chunk_size,
-    )
+    else:
+        result = run_until_stable_core(
+            engine.program,
+            engine.model,
+            engine.scheduler,
+            engine.adversary,
+            initial_configuration,
+            predicate,
+            max_steps=max_steps,
+            stability_window=stability_window,
+            trace_policy=trace_policy,
+            ring_size=ring_size,
+            chunk_size=chunk_size,
+        )
+    if obs is not NULL_RECORDER:
+        _record_run(obs, backend, result, time.perf_counter() - begin,
+                    chunk_size if chunk_size is not None else DEFAULT_CHUNK_SIZE)
+    return result
+
+
+def _record_run(obs: Recorder, backend: str, result: ConvergenceResult,
+                seconds: float, chunk_size: int) -> None:
+    """Record one engine run's counters and wall time (obs enabled only).
+
+    ``engine.chunks`` is exact without touching the step loops: every
+    outer chunk iteration except possibly the one a stop fires in is
+    full, so the iteration count is ``ceil(steps_executed / chunk_size)``.
+    """
+    obs.counter("engine.runs")
+    obs.counter("engine.steps", result.steps_executed)
+    obs.counter("engine.chunks",
+                -(-result.steps_executed // chunk_size) if chunk_size else 0)
+    obs.counter("engine.omissions", result.omissions)
+    obs.counter("engine.converged" if result.converged else "engine.diverged")
+    obs.counter(f"engine.backend.{backend}")
+    obs.observe("engine.run_seconds", seconds)
 
 
 def run_until_stable_core(

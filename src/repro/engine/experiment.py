@@ -47,6 +47,7 @@ every ``run_chunk``.
 from __future__ import annotations
 
 import statistics
+import time
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -62,6 +63,7 @@ from repro.engine.transport import (
     encode_batch,
     resolve_transport,
 )
+from repro.obs.recorder import NULL_RECORDER, Recorder, get_recorder
 from repro.interaction.models import InteractionModel
 from repro.protocols.registry import ExperimentSpec, build_cached, resolved_spec
 from repro.protocols.state import Configuration
@@ -457,8 +459,13 @@ def repeat_experiment(
             if outcome.last_steps and len(result.failure_dumps) < MAX_FAILURE_DUMPS:
                 result.failure_dumps.append((run_index, outcome.last_steps))
 
+    obs = get_recorder()
     if jobs > 1 and runs > 1:
         workers = min(jobs, runs)
+        if obs is not NULL_RECORDER:
+            obs.counter(f"fanout.backend.{jobs_backend}")
+            obs.counter(f"fanout.transport.{transport}")
+            obs.gauge("fanout.workers", workers)
         if jobs_backend == "process":
             if transport == "shm":
                 worker, receive, dispose = \
@@ -469,6 +476,13 @@ def repeat_experiment(
                 submit = lambda start, count: executor.submit(  # noqa: E731
                     worker, spec, start, count, base_seed, max_steps,
                     stability_window, policy, ring_size)
+                if obs is not NULL_RECORDER:
+                    # Worker processes start with the NullRecorder, so
+                    # engine counters stay parent-side; what the parent can
+                    # see — batch latency and the transport lane each batch
+                    # actually rode — is recorded here.
+                    submit = _timed_submit(obs, submit)
+                    receive = _counted_receive(obs, receive)
                 _merge_windowed(submit, runs, run_chunk, workers, merge,
                                 receive=receive, dispose=dispose)
         else:
@@ -478,11 +492,55 @@ def repeat_experiment(
             with ThreadPoolExecutor(max_workers=workers) as executor:
                 submit = lambda start, count: executor.submit(  # noqa: E731
                     execute_batch, start, count)
+                if obs is not NULL_RECORDER:
+                    submit = _timed_submit(obs, submit)
                 _merge_windowed(submit, runs, run_chunk, workers, merge)
     else:
+        if obs is not NULL_RECORDER:
+            obs.counter("fanout.backend.sequential")
         for run_index in range(runs):
             merge(run_index, execute_run(run_index))
     return result
+
+
+def _timed_submit(obs: Recorder, submit: Callable) -> Callable:
+    """Wrap a batch ``submit`` to observe submit-to-completion latency.
+
+    The sample covers queue wait plus worker execution (what a batch
+    actually costs the fan-out); the done-callback runs on executor
+    threads, which the metric recorders are safe against.
+    """
+    def timed(start: int, count: int) -> Any:
+        begin = time.perf_counter()
+        future = submit(start, count)
+        future.add_done_callback(
+            lambda _future: obs.observe(
+                "fanout.batch_seconds", time.perf_counter() - begin))
+        return future
+    return timed
+
+
+def _counted_receive(obs: Recorder, receive: Optional[Callable]) -> Callable:
+    """Wrap the fan-out ``receive`` hook to count transport lane usage.
+
+    Shm batches record their columnar row count, arena bytes and pickle
+    overflow; plain pickled batches record batch/result counts — so a
+    sink shows exactly how results crossed the process boundary.
+    """
+    def counted(payload: Any) -> List[ConvergenceResult]:
+        results = receive(payload) if receive is not None else payload
+        if isinstance(payload, ShmBatch):
+            columnar = payload.count - len(payload.overflow)
+            obs.counter("transport.shm.batches")
+            obs.counter("transport.shm.rows", columnar)
+            obs.counter("transport.shm.overflow_results", len(payload.overflow))
+            obs.counter("transport.shm.bytes",
+                        columnar * (4 + len(payload.states)) * 8)
+        else:
+            obs.counter("transport.pickle.batches")
+            obs.counter("transport.pickle.results", len(results))
+        return results
+    return counted
 
 
 def _merge_windowed(submit, runs: int, run_chunk: int, workers: int, merge,

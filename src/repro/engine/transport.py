@@ -59,6 +59,7 @@ from multiprocessing import shared_memory
 from typing import Dict, List, Optional, Tuple
 
 from repro.engine.convergence import ConvergenceResult
+from repro.obs.recorder import get_recorder
 from repro.protocols.state import State
 
 #: The selectable result transports for ``repeat_experiment``.  ``pickle``
@@ -162,6 +163,11 @@ def resolve_transport(transport: str, *, jobs_backend: str, trace_policy: str,
             f"result_transport 'auto': shared memory unavailable ({reason}); "
             "falling back to the pickle transport",
             RuntimeWarning, stacklevel=2)
+        # The same degradation as a structured event, so it is inspectable
+        # in the metrics sink after the run, not just printed once.
+        get_recorder().event(
+            "transport.degraded", requested="auto", fallback="pickle",
+            reason=reason)
     return "pickle"
 
 

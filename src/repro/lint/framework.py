@@ -185,6 +185,7 @@ class ProjectRule(Rule):
 def all_rules() -> List[Rule]:
     """Fresh instances of every shipped rule, in code order."""
     from repro.lint.rules_contracts import RegistryContractRule
+    from repro.lint.rules_obs import ObsOneWayRule
     from repro.lint.rules_ordering import UnorderedIterationRule
     from repro.lint.rules_purity import WallClockRule
     from repro.lint.rules_rng import UnseededRandomRule
@@ -197,6 +198,7 @@ def all_rules() -> List[Rule]:
         StoreBypassRule(),
         RegistryContractRule(),
         UnorderedIterationRule(),
+        ObsOneWayRule(),
     ]
 
 

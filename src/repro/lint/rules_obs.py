@@ -1,0 +1,148 @@
+"""RPL007 — observability is write-only: nothing flows back into hashes.
+
+The observability layer (:mod:`repro.obs`) is a sidecar by contract:
+recorders *receive* measurements from the engine, fan-out and campaign
+layers, and nothing a recorder holds may ever influence a cell id, a
+store record, or a report byte (``docs/observability.md``,
+``docs/invariants.md``).  One recorder value reaching ``canonical_json``
+or a store append would make campaign artifacts depend on whether
+telemetry was switched on — exactly the "metrics on/off byte-identity"
+pin this PR adds to CI.
+
+Two checks enforce the direction:
+
+* **Import ban** — the pure fold/hash layers (the campaign planner,
+  report and store record paths, and everything under
+  ``repro.analysis``; the same prefixes RPL002 scopes) must not import
+  ``repro.obs`` at all.  If a module cannot name the layer, it cannot
+  fold it.
+* **Flow ban** (every linted file) — no value originating in
+  ``repro.obs`` (an imported recorder/constructor, or a local bound to
+  one, e.g. ``obs = get_recorder()``) may be passed to a determinism
+  sink: ``canonical_json``, ``json.dumps``, ``hashlib.*`` or a store's
+  ``.append_cell``.  Telemetry reads run state; run state never reads
+  telemetry.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from repro.lint.framework import Finding, LintContext, Rule
+from repro.lint.rules_purity import PURE_LAYERS
+
+#: The banned package prefix (module equality or dotted descendant).
+OBS_PACKAGE = "repro.obs"
+
+#: Bare-name determinism sinks (hashed or persisted bytes).
+_SINK_NAMES = frozenset({"canonical_json"})
+
+#: Qualified determinism sinks (exact names and ``.``-terminated prefixes).
+_SINK_QUALIFIED = ("json.dumps", "hashlib.")
+
+#: Method-call determinism sinks (store appends).
+_SINK_METHODS = frozenset({"append_cell"})
+
+
+def _is_obs_module(module: Optional[str]) -> bool:
+    return module is not None and (
+        module == OBS_PACKAGE or module.startswith(OBS_PACKAGE + "."))
+
+
+def _resolves_to_obs(context: LintContext, node: ast.AST) -> bool:
+    """Does this expression name (or call) something from ``repro.obs``?"""
+    if isinstance(node, ast.Call):
+        return _resolves_to_obs(context, node.func)
+    qualified = context.imports.resolve(node)
+    return _is_obs_module(qualified) or (
+        qualified is not None and qualified.startswith(OBS_PACKAGE + "."))
+
+
+def _sink_call(context: LintContext, call: ast.Call) -> Optional[str]:
+    """The determinism sink a call represents, if it is one."""
+    if isinstance(call.func, ast.Name) and call.func.id in _SINK_NAMES:
+        return call.func.id
+    if isinstance(call.func, ast.Attribute) and call.func.attr in _SINK_METHODS:
+        return call.func.attr
+    qualified = context.imports.resolve(call.func)
+    if qualified is not None:
+        if qualified in _SINK_QUALIFIED:
+            return qualified
+        if any(qualified.startswith(prefix) for prefix in _SINK_QUALIFIED
+               if prefix.endswith(".")):
+            return qualified
+    return None
+
+
+def _tainted_names(context: LintContext) -> Set[str]:
+    """Local names bound to values originating in ``repro.obs``."""
+    tainted: Set[str] = set()
+    for node in ast.walk(context.tree):
+        targets = []
+        value: Optional[ast.AST] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if value is None or not _resolves_to_obs(context, value):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                tainted.add(target.id)
+    return tainted
+
+
+class ObsOneWayRule(Rule):
+    code = "RPL007"
+    name = "obs-one-way"
+    summary = ("observability is write-only: the pure fold/hash layers "
+               "must not import repro.obs, and no recorder value may reach "
+               "canonical_json, hashlib, json.dumps or a store append")
+    scope = None  # the flow ban applies everywhere; the import ban gates itself
+
+    def check(self, context: LintContext) -> Iterator[Finding]:
+        if any(context.module == prefix.rstrip(".")
+               or context.module.startswith(prefix)
+               for prefix in PURE_LAYERS):
+            yield from self._check_imports(context)
+        yield from self._check_flows(context)
+
+    def _check_imports(self, context: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if _is_obs_module(alias.name):
+                        yield context.finding(
+                            self.code, node,
+                            f"pure fold/hash layer imports {alias.name}; "
+                            "telemetry is write-only — planner/report/store "
+                            "and analysis must stay byte-identical with "
+                            "observability on or off")
+            elif isinstance(node, ast.ImportFrom) and node.level == 0 \
+                    and _is_obs_module(node.module):
+                yield context.finding(
+                    self.code, node,
+                    f"pure fold/hash layer imports from {node.module}; "
+                    "telemetry is write-only — planner/report/store and "
+                    "analysis must stay byte-identical with observability "
+                    "on or off")
+
+    def _check_flows(self, context: LintContext) -> Iterator[Finding]:
+        tainted = _tainted_names(context)
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            sink = _sink_call(context, node)
+            if sink is None:
+                continue
+            arguments = list(node.args) + [kw.value for kw in node.keywords]
+            for argument in arguments:
+                flows = _resolves_to_obs(context, argument) or (
+                    isinstance(argument, ast.Name) and argument.id in tainted)
+                if flows:
+                    yield context.finding(
+                        self.code, argument,
+                        f"a repro.obs value flows into {sink}(); recorders "
+                        "must never reach hashed, persisted or rendered "
+                        "bytes — record telemetry about the value instead")

@@ -1,0 +1,103 @@
+"""Live campaign progress: a recorder that renders events to stderr.
+
+``repro campaign run --progress`` installs a :class:`ProgressReporter`
+(usually alongside a :class:`~repro.obs.recorder.MetricsRecorder` via
+:class:`~repro.obs.recorder.MultiRecorder`).  It consumes exactly three
+event names — ``campaign.start`` (carries the cell total),
+``campaign.cell`` (one per computed cell, carrying status and engine
+backend) and ``campaign.end`` — and redraws one ``\\r``-terminated
+status line: cells done/total, cells/s, ETA, and the tally of engine
+backends seen so far.
+
+The line goes to **stderr** so it never contaminates stdout report
+bytes (the determinism pin diffs stdout), and redraws are throttled so
+sub-millisecond cells cannot turn the terminal into a hot loop.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from typing import Dict, Optional, TextIO
+
+from repro.obs.recorder import Recorder
+
+#: Minimum seconds between redraws (the final line always renders).
+REDRAW_INTERVAL = 0.1
+
+
+class ProgressReporter(Recorder):
+    """Render campaign events as a live single-line progress display."""
+
+    def __init__(self, stream: Optional[TextIO] = None,
+                 min_interval: float = REDRAW_INTERVAL) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        self._min_interval = min_interval
+        self._lock = threading.Lock()
+        self._total: Optional[int] = None
+        self._done = 0
+        self._backends: Dict[str, int] = {}
+        self._started = time.perf_counter()
+        self._last_draw = 0.0
+        self._dirty = False
+        self._closed = False
+
+    def event(self, name: str, /, **fields: object) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            if name == "campaign.start":
+                total = fields.get("total")
+                if isinstance(total, int):
+                    self._total = total
+                self._started = time.perf_counter()
+                self._done = 0
+                self._backends = {}
+                self._draw(force=True)
+            elif name == "campaign.cell":
+                self._done += 1
+                backend = fields.get("backend")
+                if isinstance(backend, str):
+                    self._backends[backend] = self._backends.get(backend, 0) + 1
+                self._draw()
+            elif name == "campaign.end":
+                self._draw(final=True)
+
+    def _line(self) -> str:
+        elapsed = time.perf_counter() - self._started
+        rate = self._done / elapsed if elapsed > 0 else 0.0
+        total = "?" if self._total is None else str(self._total)
+        parts = [f"campaign: {self._done}/{total} cells",
+                 f"{rate:.1f} cells/s"]
+        if self._total is not None and rate > 0 and self._done < self._total:
+            eta = (self._total - self._done) / rate
+            parts.append(f"ETA {eta:.0f}s")
+        line = ", ".join(parts)
+        if self._backends:
+            tally = " ".join(f"{backend}:{count}"
+                             for backend, count in sorted(self._backends.items()))
+            line += f" [{tally}]"
+        return line
+
+    def _draw(self, force: bool = False, final: bool = False) -> None:
+        now = time.perf_counter()
+        if not force and not final \
+                and now - self._last_draw < self._min_interval:
+            self._dirty = True
+            return
+        self._last_draw = now
+        self._dirty = False
+        end = "\n" if final else ""
+        try:
+            self._stream.write("\r" + self._line() + end)
+            self._stream.flush()
+        except (OSError, ValueError):
+            self._closed = True  # a gone stream ends the display, not the run
+        if final:
+            self._closed = True
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._closed:
+                self._draw(final=True)

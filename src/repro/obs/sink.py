@@ -1,0 +1,93 @@
+"""The JSONL event sink: one self-describing telemetry file per run.
+
+A sink file is a **sidecar**: it lives wherever ``--metrics PATH``
+points, strictly outside every campaign store, and nothing in the
+hashed/fold layers ever reads it back (RPL007).  Its format:
+
+* line 1 is a meta record ``{"kind": "meta", "schema": 1}`` naming the
+  record schema version (:data:`~repro.obs.recorder.SCHEMA_VERSION`);
+* every further line is one JSON object with sorted keys and a ``kind``
+  of ``event`` (streamed as they happen, with an ``event`` name field),
+  or ``counter``/``gauge``/``timer`` (the metric summary records
+  appended by :meth:`~repro.obs.recorder.MetricsRecorder.close`).
+
+Writes take a lock and flush per record, so a crashed run still leaves
+every completed line readable and campaign cell workers can stream
+events concurrently.  :func:`read_sink` is the one reader, shared by
+``repro campaign metrics`` and the tests.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Dict, List
+
+from repro.obs.recorder import SCHEMA_VERSION
+
+
+class SinkError(ValueError):
+    """A sink file is missing, malformed, or from an unknown schema."""
+
+
+class JsonlSink:
+    """Append-only JSONL writer for telemetry records."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        self._handle = open(path, "w", encoding="utf-8")
+        self._closed = False
+        self.write({"kind": "meta", "schema": SCHEMA_VERSION})
+
+    def write(self, record: Dict[str, object]) -> None:
+        """Append one record as a sorted-keys JSON line (flushed)."""
+        line = json.dumps(record, sort_keys=True)
+        with self._lock:
+            if self._closed:
+                return
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._closed:
+                self._closed = True
+                self._handle.close()
+
+
+def read_sink(path: str) -> List[Dict[str, object]]:
+    """Parse a sink file, validating the meta line; returns every record.
+
+    The meta record is returned too (callers can inspect the schema);
+    unparseable lines and unsupported schemas raise :class:`SinkError`
+    rather than silently skewing a summary.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as error:
+        raise SinkError(f"cannot read metrics sink {path!r}: {error}") from None
+    records: List[Dict[str, object]] = []
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            raise SinkError(
+                f"{path}:{number}: not a JSON record") from None
+        if not isinstance(record, dict) or "kind" not in record:
+            raise SinkError(
+                f"{path}:{number}: sink records are JSON objects with a "
+                "'kind' field")
+        records.append(record)
+    if not records or records[0].get("kind") != "meta":
+        raise SinkError(
+            f"{path}: not a metrics sink (missing the leading meta record)")
+    schema = records[0].get("schema")
+    if schema != SCHEMA_VERSION:
+        raise SinkError(
+            f"{path}: sink schema {schema!r} is not supported "
+            f"(this build reads schema {SCHEMA_VERSION})")
+    return records

@@ -1,0 +1,66 @@
+"""Metrics-summary fold: render a sink file as timing/throughput tables.
+
+``repro campaign metrics PATH`` ends here: the sink's records fold into
+plain-text tables — counters, gauges, timer distributions (count /
+total / mean / min / max) and an event tally — through the same
+:func:`~repro.analysis.reporting.format_table` renderer every other
+report uses.  The import direction is the sanctioned one (obs may read
+the analysis renderers; the analysis layer may never import obs —
+RPL007), and the fold is presentation only: it never feeds anything
+back into stores or reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.reporting import format_table
+
+
+def _format_seconds(value: float) -> str:
+    return f"{value:.4f}"
+
+
+def summarize_records(records: List[Dict[str, object]]) -> str:
+    """Fold parsed sink records (:func:`~repro.obs.sink.read_sink`) to text."""
+    counters = [record for record in records if record.get("kind") == "counter"]
+    gauges = [record for record in records if record.get("kind") == "gauge"]
+    timers = [record for record in records if record.get("kind") == "timer"]
+    events = [record for record in records if record.get("kind") == "event"]
+
+    sections: List[str] = []
+    if counters:
+        sections.append("counters\n" + format_table(
+            ["counter", "value"],
+            [[record["name"], record["value"]]
+             for record in sorted(counters, key=lambda r: str(r.get("name")))]))
+    if gauges:
+        sections.append("gauges\n" + format_table(
+            ["gauge", "value"],
+            [[record["name"], record["value"]]
+             for record in sorted(gauges, key=lambda r: str(r.get("name")))]))
+    if timers:
+        rows = []
+        for record in sorted(timers, key=lambda r: str(r.get("name"))):
+            count = int(record["count"])  # type: ignore[call-overload]
+            total = float(record["total"])  # type: ignore[arg-type]
+            mean = total / count if count else 0.0
+            rows.append([
+                record["name"], count, _format_seconds(total),
+                _format_seconds(mean),
+                _format_seconds(float(record["min"])),  # type: ignore[arg-type]
+                _format_seconds(float(record["max"])),  # type: ignore[arg-type]
+            ])
+        sections.append("timers (seconds)\n" + format_table(
+            ["timer", "count", "total", "mean", "min", "max"], rows))
+    if events:
+        tally: Dict[str, int] = {}
+        for record in events:
+            name = str(record.get("event"))
+            tally[name] = tally.get(name, 0) + 1
+        sections.append("events\n" + format_table(
+            ["event", "count"],
+            [[name, tally[name]] for name in sorted(tally)]))
+    if not sections:
+        return "metrics sink holds no records beyond the meta line\n"
+    return "\n\n".join(sections) + "\n"

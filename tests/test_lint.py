@@ -1,5 +1,5 @@
 """Determinism-contracts linter tests: per-rule violating/clean fixture
-pairs for RPL001-RPL006, pragma suppression (including the
+pairs for RPL001-RPL007, pragma suppression (including the
 missing-reason rejection, RPL000), the versioned JSON report schema, CLI
 exit codes, and the self-hosting property — the repo's own sources lint
 clean, and every function in ``src/repro`` carries a return annotation
@@ -333,6 +333,70 @@ class TestUnorderedIteration:
 
 
 # ---------------------------------------------------------------------------
+# RPL007 — observability is write-only (no obs imports in pure layers,
+# no recorder values reaching determinism sinks)
+# ---------------------------------------------------------------------------
+
+class TestObsOneWay:
+    def test_obs_import_flagged_in_planner(self):
+        findings = lint_source(
+            "from repro.obs.recorder import get_recorder\n",
+            module="repro.campaign.planner")
+        assert codes(findings) == ["RPL007"]
+
+    def test_obs_package_import_flagged_in_analysis(self):
+        findings = lint_source(
+            "import repro.obs\n", module="repro.analysis.reporting")
+        assert codes(findings) == ["RPL007"]
+
+    def test_obs_import_flagged_in_store(self):
+        findings = lint_source(
+            "from repro.obs import MetricsRecorder\n",
+            module="repro.campaign.store")
+        assert codes(findings) == ["RPL007"]
+
+    def test_obs_import_outside_pure_layers_clean(self):
+        source = "from repro.obs.recorder import get_recorder\n"
+        assert lint_source(source, module="repro.engine.convergence") == []
+        assert lint_source(source, module="repro.campaign.runner") == []
+
+    def test_recorder_flow_into_canonical_json_flagged(self):
+        findings = lint_source(
+            "from repro.obs.recorder import get_recorder\n"
+            "payload = canonical_json(get_recorder())\n",
+            module="repro.campaign.runner")
+        assert codes(findings) == ["RPL007"]
+
+    def test_tainted_local_flow_into_hashlib_flagged(self):
+        findings = lint_source(
+            "import hashlib\n"
+            "from repro.obs.recorder import get_recorder\n"
+            "obs = get_recorder()\n"
+            "digest = hashlib.sha256(obs)\n",
+            module="repro.engine.experiment")
+        assert codes(findings) == ["RPL007"]
+
+    def test_recorder_flow_into_store_append_flagged(self):
+        findings = lint_source(
+            "from repro.obs.recorder import NULL_RECORDER\n"
+            "store.append_cell(NULL_RECORDER)\n",
+            module="repro.campaign.runner")
+        assert codes(findings) == ["RPL007"]
+
+    def test_write_only_instrumentation_clean(self):
+        source = (
+            "from repro.obs.recorder import NULL_RECORDER, get_recorder\n"
+            "def run(store, record) -> None:\n"
+            "    obs = get_recorder()\n"
+            "    if obs is not NULL_RECORDER:\n"
+            "        obs.counter('engine.runs')\n"
+            "        obs.event('campaign.cell', status=record['status'])\n"
+            "    store.append_cell(record)\n"
+        )
+        assert lint_source(source, module="repro.campaign.runner") == []
+
+
+# ---------------------------------------------------------------------------
 # Pragmas — suppression requires a reason; malformed pragmas are findings
 # ---------------------------------------------------------------------------
 
@@ -483,7 +547,8 @@ class TestDriver:
 
     def test_all_rules_cover_the_documented_codes(self):
         assert [rule.code for rule in all_rules()] == [
-            "RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006"]
+            "RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006",
+            "RPL007"]
 
 
 # ---------------------------------------------------------------------------

@@ -37,6 +37,7 @@ REQUIRED_DOCS = (
     "docs/architecture.md",
     "docs/campaigns.md",
     "docs/invariants.md",
+    "docs/observability.md",
     "docs/performance.md",
 )
 
